@@ -1,0 +1,62 @@
+// Command rmrbench regenerates the repository's experiment tables (E1–E8
+// plus the extension experiments E9–E12),
+// one per quantitative claim of "Word-Size RMR Tradeoffs for Recoverable
+// Mutual Exclusion" (PODC 2023). See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded output.
+//
+// Usage:
+//
+//	rmrbench [-full] [-only E2,E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rme/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rmrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rmrbench", flag.ContinueOnError)
+	full := fs.Bool("full", false, "run the enlarged parameter sweeps")
+	only := fs.String("only", "", "comma-separated experiment ids (e.g. E1,E5); default all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	opts := harness.Options{Full: *full}
+	for _, exp := range harness.All() {
+		if len(want) > 0 && !want[exp.ID] {
+			continue
+		}
+		fmt.Printf("=== %s: %s\n", exp.ID, exp.Title)
+		fmt.Printf("    claim: %s\n\n", exp.Claim)
+		start := time.Now()
+		tables, err := exp.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		for i := range tables {
+			tables[i].Render(os.Stdout)
+		}
+		fmt.Printf("    (%s in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module rme
+
+go 1.22

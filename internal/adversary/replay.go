@@ -1,0 +1,150 @@
+package adversary
+
+import (
+	"fmt"
+	"strings"
+
+	"rme/internal/mutex"
+	"rme/internal/sim"
+)
+
+// procObservables captures everything about a process that the proof's
+// invariants require to be preserved when other processes are erased from
+// the schedule: its progress (I3), its membership in the finished set (I4),
+// its crash count (I6), and its phase (I7). For processes that are still
+// active, the observables additionally include the RMR counters (I10) and
+// — in the CC model — the set of valid cache copies (I9); a finished
+// process's RMR count may legitimately differ between table columns (an
+// erased process's non-read operation invalidates caches without changing
+// values), and the proof's invariants do not constrain it.
+type procObservables struct {
+	done    bool
+	parked  bool
+	steps   int
+	rmrCC   int
+	rmrDSM  int
+	crashes int
+	tag     int
+	pending string
+	cached  string
+}
+
+func observe(m *sim.Machine, p int, active bool) procObservables {
+	o := procObservables{
+		done:    m.ProcDone(p),
+		parked:  m.Parked(p),
+		steps:   m.ProcSteps(p),
+		crashes: m.Crashes(p),
+		tag:     m.Tag(p),
+	}
+	if po, ok := m.Pending(p); ok {
+		if po.Wait {
+			o.pending = "wait"
+		} else {
+			o.pending = fmt.Sprintf("%s %s", po.Cell.Label(), po.Op)
+		}
+	}
+	if active {
+		o.rmrCC = m.RMRsIn(sim.CC, p)
+		o.rmrDSM = m.RMRsIn(sim.DSM, p)
+		var b strings.Builder
+		for _, id := range m.CachedCells(p) {
+			fmt.Fprintf(&b, "%d,", id)
+		}
+		o.cached = b.String()
+	}
+	return o
+}
+
+// removeOrBlock erases process p from the execution if the erasure is
+// verifiably invisible to everyone else (a table-column switch in the
+// proof's terms); otherwise p is merely blocked. Only non-finished
+// processes can be erased.
+func (a *Adversary) removeOrBlock(p int, rep *Round) {
+	if a.status[p] == Finished || a.status[p] == Removed {
+		return
+	}
+	if a.tryErase(p) {
+		a.status[p] = Removed
+		rep.Removed++
+		return
+	}
+	a.status[p] = Blocked
+	rep.Blocked++
+	a.report.RemovalRollbacks++
+}
+
+// tryErase replays the schedule without p's actions on a fresh machine and
+// adopts the replay iff every remaining process's observables are
+// unchanged. It reports whether the erasure was adopted.
+func (a *Adversary) tryErase(p int) bool {
+	replayed, ok := a.buildWithout(p)
+	if !ok {
+		return false
+	}
+	a.session.Close()
+	a.session = replayed
+	a.report.Replays++
+	return true
+}
+
+// verifyErasable checks whether p could be erased (identical replay for the
+// others) without adopting the replay — used to validate that a hidden
+// process is genuinely invisible.
+func (a *Adversary) verifyErasable(p int) bool {
+	replayed, ok := a.buildWithout(p)
+	if ok {
+		replayed.Close()
+	}
+	return ok
+}
+
+// buildWithout constructs a fresh session, replays the current schedule
+// restricted to all processes except p, and verifies the observables of
+// every process other than p. On success the new session is returned.
+func (a *Adversary) buildWithout(p int) (*mutex.Session, bool) {
+	old := a.session.Machine()
+	restricted := old.Schedule().Restrict(func(q int) bool { return q != p })
+
+	fresh, err := mutex.NewSession(a.cfg.Session)
+	if err != nil {
+		return nil, false
+	}
+	if err := applySchedule(fresh, restricted); err != nil {
+		fresh.Close()
+		return nil, false
+	}
+	if len(fresh.Violations()) > 0 {
+		fresh.Close()
+		return nil, false
+	}
+	nm := fresh.Machine()
+	for q := 0; q < a.cfg.Session.Procs; q++ {
+		if q == p || a.status[q] == Removed {
+			continue
+		}
+		active := a.status[q] == Active
+		if observe(old, q, active) != observe(nm, q, active) {
+			fresh.Close()
+			return nil, false
+		}
+	}
+	return fresh, true
+}
+
+// applySchedule drives a session through a schedule via the monitored
+// step/crash entry points.
+func applySchedule(s *mutex.Session, sched sim.Schedule) error {
+	for i, act := range sched {
+		var err error
+		if act.Crash {
+			_, err = s.CrashProc(act.Proc)
+		} else {
+			_, err = s.StepProc(act.Proc)
+		}
+		if err != nil {
+			return fmt.Errorf("replay action %d (%s): %w", i, act, err)
+		}
+	}
+	return nil
+}

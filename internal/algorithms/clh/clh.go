@@ -1,0 +1,117 @@
+// Package clh implements a Craig / Landin–Hagersten-style queue lock [6] on
+// the w-bit word model: the conventional O(1)-RMR lock built from
+// fetch-and-store in which each process spins on its *predecessor's* cell
+// (where MCS spins on its own). It is cited by the paper alongside MCS as
+// the reason FAS makes conventional mutual exclusion constant-cost — and as
+// the §1.1 example of why the recoverable lower bound needs crash steps:
+// the FAS on the tail hands every arrival its predecessor's identity, so
+// nothing can be hidden.
+//
+// Classic CLH recycles queue nodes by stealing the predecessor's node; on a
+// machine with a fixed set of named cells that is replaced by
+// consumption-gated reuse: a grant cell cycles armed (1) → released (0) →
+// consumed (2), a process re-arms its cell only after the previous watcher
+// has consumed it, and a releasing process with no successor retires its
+// cell itself after removing itself from the tail with a compare-and-swap
+// (which atomically proves no watcher can ever arrive).
+package clh
+
+import (
+	"fmt"
+	"strconv"
+
+	"rme/internal/memory"
+	"rme/internal/mutex"
+	"rme/internal/word"
+)
+
+// Grant cell states.
+const (
+	granted  word.Word = 0 // predecessor released; watcher may pass
+	armed    word.Word = 1 // passage in progress
+	reusable word.Word = 2 // consumed by the watcher (or never watched)
+)
+
+// Lock is the CLH-style queue lock algorithm.
+type Lock struct{}
+
+var _ mutex.Algorithm = Lock{}
+
+// New returns the algorithm.
+func New() Lock { return Lock{} }
+
+// Name identifies the algorithm.
+func (Lock) Name() string { return "clh" }
+
+// Recoverable reports false: a crash between the tail swap and the spin
+// severs the implicit queue.
+func (Lock) Recoverable() bool { return false }
+
+// Make allocates the tail plus one grant cell per process. Ids are stored
+// as id+1 and grants take values {0,1,2}, so w must hold max(n+1, 2).
+func (Lock) Make(mem memory.Allocator, n int) (mutex.Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("clh: need at least 1 process, got %d", n)
+	}
+	if !mem.Width().Fits(word.Word(n)) || !mem.Width().Fits(reusable) {
+		return nil, fmt.Errorf("clh: %d processes do not fit %d-bit words", n, mem.Width())
+	}
+	in := &instance{
+		tail:  mem.NewCell("clh.tail", memory.Shared, 0),
+		grant: make([]memory.Cell, n),
+	}
+	for i := 0; i < n; i++ {
+		in.grant[i] = mem.NewCell("clh.grant."+strconv.Itoa(i), i, reusable)
+	}
+	return in, nil
+}
+
+type instance struct {
+	tail  memory.Cell
+	grant []memory.Cell
+}
+
+var _ mutex.Instance = (*instance)(nil)
+
+func (in *instance) Bind(env memory.Env) mutex.Handle {
+	return &handle{env: env, in: in, id: env.ID()}
+}
+
+type handle struct {
+	mutex.Unrecoverable
+
+	env memory.Env
+	in  *instance
+	id  int
+}
+
+var _ mutex.Handle = (*handle)(nil)
+
+// Lock re-arms this process's grant cell (waiting out any straggling
+// watcher from the previous passage), swaps itself into the tail, and spins
+// on the predecessor's grant cell until released, acknowledging
+// consumption so the predecessor may reuse its cell.
+func (h *handle) Lock() {
+	mine := h.in.grant[h.id]
+	h.env.SpinUntil(mine, func(v word.Word) bool { return v == reusable })
+	h.env.Write(mine, armed)
+	prev := h.env.Swap(h.in.tail, word.Word(h.id+1))
+	if prev == 0 {
+		return
+	}
+	pred := h.in.grant[prev-1]
+	h.env.SpinUntil(pred, func(v word.Word) bool { return v == granted })
+	h.env.Write(pred, reusable)
+}
+
+// Unlock releases the successor, or — when the tail still names this
+// process, proving no successor can ever watch this passage's cell —
+// retires the cell directly.
+func (h *handle) Unlock() {
+	me := word.Word(h.id + 1)
+	if h.env.CAS(h.in.tail, me, 0) == me {
+		h.env.Write(h.in.grant[h.id], reusable)
+		return
+	}
+	h.env.Write(h.in.grant[h.id], granted)
+}

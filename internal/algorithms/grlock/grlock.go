@@ -1,0 +1,173 @@
+// Package grlock implements a recoverable O(n)-RMR mutual exclusion
+// algorithm from reads and writes only, standing in for the first RME
+// algorithm of Golab and Ramaraju [12] in the paper's landscape.
+//
+// The construction is Lamport's bakery made recoverable. Reads and writes
+// are naturally crash-tolerant: every write is to a cell only this process
+// writes, so re-executing an interrupted section is idempotent, and a
+// per-process persistent phase cell pins down which section to re-execute.
+// Crash windows:
+//
+//   - crash while choosing (choosing[p] may be 1, number[p] may or may not
+//     be written): recovery simply re-runs the doorway; a re-chosen number
+//     is safe because any rival that compared against the old number either
+//     deferred to us (and still will — it re-reads number[p] while waiting)
+//     or proceeded ahead of us (and our new, re-chosen number orders us
+//     behind or ahead consistently when we re-scan);
+//   - crash while waiting or inside the CS (phase = trying, number set):
+//     recovery re-runs the wait loop; our priority (number[p], p) is
+//     unchanged, so the loop re-admits us without violating exclusion —
+//     this yields critical-section re-entry;
+//   - crash while exiting: recovery completes the (idempotent) exit writes.
+//
+// Bakery tickets grow with contention; they live in w-bit words, so the
+// handle panics if a ticket would overflow the word — configure a wide
+// enough word (or few enough passages) for the run.
+package grlock
+
+import (
+	"fmt"
+	"strconv"
+
+	"rme/internal/memory"
+	"rme/internal/mutex"
+	"rme/internal/word"
+)
+
+// Per-process persistent phase values.
+const (
+	phaseIdle word.Word = iota
+	phaseTrying
+	phaseExiting
+)
+
+// Lock is the recoverable bakery algorithm.
+type Lock struct{}
+
+var _ mutex.Algorithm = Lock{}
+
+// New returns the algorithm.
+func New() Lock { return Lock{} }
+
+// Name identifies the algorithm.
+func (Lock) Name() string { return "grlock" }
+
+// Recoverable reports true.
+func (Lock) Recoverable() bool { return true }
+
+// Make allocates choosing/number/phase cells for each process in its own
+// segment. Tickets must fit in w bits; Make requires room for at least n+1
+// ticket values so a single contended round cannot overflow.
+func (Lock) Make(mem memory.Allocator, n int) (mutex.Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("grlock: need at least 1 process, got %d", n)
+	}
+	if !mem.Width().Fits(word.Word(n + 1)) {
+		return nil, fmt.Errorf("grlock: %d processes need tickets wider than %d bits", n, mem.Width())
+	}
+	in := &instance{
+		n:        n,
+		choosing: make([]memory.Cell, n),
+		number:   make([]memory.Cell, n),
+		phase:    make([]memory.Cell, n),
+	}
+	for i := 0; i < n; i++ {
+		s := strconv.Itoa(i)
+		in.choosing[i] = mem.NewCell("grlock.choosing."+s, i, 0)
+		in.number[i] = mem.NewCell("grlock.number."+s, i, 0)
+		in.phase[i] = mem.NewCell("grlock.phase."+s, i, phaseIdle)
+	}
+	return in, nil
+}
+
+type instance struct {
+	n        int
+	choosing []memory.Cell
+	number   []memory.Cell
+	phase    []memory.Cell
+}
+
+var _ mutex.Instance = (*instance)(nil)
+
+func (in *instance) Bind(env memory.Env) mutex.Handle {
+	return &handle{env: env, in: in, id: env.ID()}
+}
+
+type handle struct {
+	env memory.Env
+	in  *instance
+	id  int
+}
+
+var _ mutex.Handle = (*handle)(nil)
+
+// Lock persists intent, runs the bakery doorway, and waits its turn.
+func (h *handle) Lock() {
+	h.env.Write(h.in.phase[h.id], phaseTrying)
+	h.choose()
+	h.wait()
+}
+
+// choose runs the bakery doorway: pick 1 + max of all visible numbers.
+func (h *handle) choose() {
+	h.env.Write(h.in.choosing[h.id], 1)
+	var max word.Word
+	for j := 0; j < h.in.n; j++ {
+		if j == h.id {
+			continue
+		}
+		if v := h.env.Read(h.in.number[j]); v > max {
+			max = v
+		}
+	}
+	ticket := max + 1
+	if !h.env.Width().Fits(ticket) {
+		panic(fmt.Sprintf("grlock: ticket %d overflows %d-bit word", ticket, h.env.Width()))
+	}
+	h.env.Write(h.in.number[h.id], ticket)
+	h.env.Write(h.in.choosing[h.id], 0)
+}
+
+// wait blocks until every rival with a smaller (number, id) pair is gone.
+func (h *handle) wait() {
+	mine := h.env.Read(h.in.number[h.id])
+	for j := 0; j < h.in.n; j++ {
+		if j == h.id {
+			continue
+		}
+		j := j
+		h.env.SpinUntil(h.in.choosing[j], func(v word.Word) bool { return v == 0 })
+		h.env.SpinUntil(h.in.number[j], func(v word.Word) bool {
+			return v == 0 || v > mine || (v == mine && j > h.id)
+		})
+	}
+}
+
+// Unlock persists the exiting phase and clears the ticket.
+func (h *handle) Unlock() {
+	h.env.Write(h.in.phase[h.id], phaseExiting)
+	h.env.Write(h.in.number[h.id], 0)
+	h.env.Write(h.in.phase[h.id], phaseIdle)
+}
+
+// Recover re-derives the protocol position from persistent cells.
+func (h *handle) Recover() mutex.RecoverStatus {
+	switch h.env.Read(h.in.phase[h.id]) {
+	case phaseTrying:
+		// If the doorway did not complete (choosing still set, or no ticket
+		// recorded), re-run it; then re-run the wait loop. Both are
+		// idempotent, and if we were already in the CS the wait loop
+		// re-admits us immediately.
+		if h.env.Read(h.in.choosing[h.id]) == 1 || h.env.Read(h.in.number[h.id]) == 0 {
+			h.choose()
+		}
+		h.wait()
+		return mutex.RecoverAcquired
+	case phaseExiting:
+		h.env.Write(h.in.number[h.id], 0)
+		h.env.Write(h.in.phase[h.id], phaseIdle)
+		return mutex.RecoverReleased
+	default:
+		return mutex.RecoverIdle
+	}
+}

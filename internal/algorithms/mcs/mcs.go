@@ -1,0 +1,110 @@
+// Package mcs implements the Mellor-Crummey–Scott queue lock [21] on the
+// w-bit word model: queue "pointers" are process ids, so a cell needs only
+// ceil(log2(n+1)) bits. MCS achieves O(1) RMRs per passage in both CC and
+// DSM (each process spins on a cell in its own segment).
+//
+// MCS is the paper's §1.1 cautionary tale for recoverability: the
+// fetch-and-store on the tail tells each arriving process exactly who its
+// predecessor is, so in a crash-free world no process can be "hidden" — which
+// is why the conventional lower bound of Anderson–Kim does not survive FAS,
+// and why the paper's adversary needs crash steps to hide processes again.
+// MCS itself is not recoverable: a crash between the tail swap and the
+// predecessor link leaves the queue severed.
+package mcs
+
+import (
+	"fmt"
+	"strconv"
+
+	"rme/internal/memory"
+	"rme/internal/mutex"
+	"rme/internal/word"
+)
+
+// Lock is the MCS queue lock algorithm.
+type Lock struct{}
+
+var _ mutex.Algorithm = Lock{}
+
+// New returns the algorithm.
+func New() Lock { return Lock{} }
+
+// Name identifies the algorithm.
+func (Lock) Name() string { return "mcs" }
+
+// Recoverable reports false (see the package comment).
+func (Lock) Recoverable() bool { return false }
+
+// Make allocates the tail word plus per-process queue nodes (next, locked) in
+// each process's own segment. Ids are stored as id+1, so w must satisfy
+// 2^w > n.
+func (Lock) Make(mem memory.Allocator, n int) (mutex.Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mcs: need at least 1 process, got %d", n)
+	}
+	if !mem.Width().Fits(word.Word(n)) {
+		return nil, fmt.Errorf("mcs: %d processes need ids wider than %d bits", n, mem.Width())
+	}
+	in := &instance{
+		tail:   mem.NewCell("mcs.tail", memory.Shared, 0),
+		next:   make([]memory.Cell, n),
+		locked: make([]memory.Cell, n),
+	}
+	for i := 0; i < n; i++ {
+		in.next[i] = mem.NewCell("mcs.next."+strconv.Itoa(i), i, 0)
+		in.locked[i] = mem.NewCell("mcs.locked."+strconv.Itoa(i), i, 0)
+	}
+	return in, nil
+}
+
+type instance struct {
+	tail   memory.Cell
+	next   []memory.Cell
+	locked []memory.Cell
+}
+
+var _ mutex.Instance = (*instance)(nil)
+
+func (in *instance) Bind(env memory.Env) mutex.Handle {
+	return &handle{env: env, in: in, id: env.ID()}
+}
+
+type handle struct {
+	mutex.Unrecoverable
+
+	env memory.Env
+	in  *instance
+	id  int
+}
+
+var _ mutex.Handle = (*handle)(nil)
+
+// Lock enqueues behind the current tail and, if there is a predecessor,
+// spins on the process's own locked flag until the predecessor hands off.
+func (h *handle) Lock() {
+	me := word.Word(h.id + 1)
+	h.env.Write(h.in.next[h.id], 0)
+	// The locked flag must be armed before the predecessor can learn about
+	// us (i.e. before the swap), or the handoff write could be lost.
+	h.env.Write(h.in.locked[h.id], 1)
+	pred := h.env.Swap(h.in.tail, me)
+	if pred == 0 {
+		return
+	}
+	h.env.Write(h.in.next[pred-1], me)
+	h.env.SpinUntil(h.in.locked[h.id], func(v word.Word) bool { return v == 0 })
+}
+
+// Unlock hands the lock to the successor, or frees it if none is queued.
+func (h *handle) Unlock() {
+	me := word.Word(h.id + 1)
+	succ := h.env.Read(h.in.next[h.id])
+	if succ == 0 {
+		if h.env.CAS(h.in.tail, me, 0) == me {
+			return // no successor; the queue is empty again
+		}
+		// A successor swapped the tail but has not linked yet; wait for it.
+		succ = h.env.SpinUntil(h.in.next[h.id], func(v word.Word) bool { return v != 0 })
+	}
+	h.env.Write(h.in.locked[succ-1], 0)
+}

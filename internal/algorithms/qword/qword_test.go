@@ -1,0 +1,111 @@
+package qword_test
+
+import (
+	"testing"
+
+	"rme/internal/adversary"
+
+	"rme/internal/algorithms/qword"
+	"rme/internal/algtest"
+	"rme/internal/check"
+	"rme/internal/memory"
+	"rme/internal/mutex"
+	"rme/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	// 13 processes need 4-bit fields: 52 bits.
+	algtest.Run(t, qword.New(), algtest.Options{Width: 64})
+}
+
+func TestWidthValidation(t *testing.T) {
+	mem8, err := memory.NewNativeMem(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 processes need 3-bit fields: 12 bits > 8.
+	if _, err := qword.New().Make(mem8, 4); err == nil {
+		t.Error("4 processes on 8-bit words must be rejected")
+	}
+	// 2 processes need 2-bit fields: 4 bits <= 8.
+	if _, err := qword.New().Make(mem8, 2); err != nil {
+		t.Errorf("2 processes on 8-bit words should work: %v", err)
+	}
+}
+
+func TestFIFOByConstruction(t *testing.T) {
+	// The queue word IS the grant order: drive enqueues in the order
+	// 2, 0, 1 and verify CS grants follow it.
+	s, err := mutex.NewSession(mutex.Config{
+		Procs: 3, Width: 16, Model: sim.CC, Algorithm: qword.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Each process: phase write, then the enqueue op. Two steps each.
+	for _, p := range []int{2, 0, 1} {
+		for i := 0; i < 2; i++ {
+			if _, err := s.StepProc(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.RunRoundRobin(); err != nil {
+		t.Fatal(err)
+	}
+	order := s.CSOrder()
+	if len(order) != 3 || order[0] != 2 || order[1] != 0 || order[2] != 1 {
+		t.Errorf("CS order = %v, want [2 0 1]", order)
+	}
+}
+
+func TestExhaustiveWithCrashes(t *testing.T) {
+	res, err := check.Exhaustive(check.Config{
+		Session:        mutex.Config{Procs: 2, Width: 8, Model: sim.CC, Algorithm: qword.New()},
+		CrashesPerProc: 1,
+		MaxSchedules:   60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Log("truncated (expected for crash branching); complete:", res.Complete)
+	}
+	if res.Complete == 0 {
+		t.Fatal("nothing explored")
+	}
+}
+
+func TestAdversaryCannotHideAgainstQueueWord(t *testing.T) {
+	// Every enqueue records its caller in the word, so the value-collision
+	// search must fail — the arbitrary-op analogue of wide-FAA immunity.
+	adv, err := newAdversary(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adv.Close()
+	rep, err := adv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HidingWins != 0 {
+		t.Errorf("hiding succeeded %d times against the queue word", rep.HidingWins)
+	}
+	if len(rep.InvariantViolations) > 0 {
+		t.Errorf("violations: %v", rep.InvariantViolations)
+	}
+}
+
+func newAdversary(t *testing.T) (*adversary.Adversary, error) {
+	t.Helper()
+	return adversary.New(adversary.Config{
+		Session: mutex.Config{
+			Procs: 8, Width: 32, Model: sim.CC, Algorithm: qword.New(),
+		},
+		K: 4,
+	})
+}

@@ -1,0 +1,130 @@
+// Package rspin implements the simplest recoverable mutual exclusion
+// algorithm: a CAS spin lock whose lock word carries the owner's id. Because
+// ownership is readable from shared memory, a crashed process can always
+// re-derive whether its acquisition took effect — the "ID-carrying
+// operation" discipline shared by all recoverable algorithms in this
+// repository. It is the correctness workhorse for the checker; its RMR
+// complexity is unbounded under contention (every handoff invalidates every
+// waiter), so it also anchors the bottom of the experiment landscape.
+package rspin
+
+import (
+	"fmt"
+	"strconv"
+
+	"rme/internal/memory"
+	"rme/internal/mutex"
+	"rme/internal/word"
+)
+
+// Per-process persistent phase values.
+const (
+	phaseIdle word.Word = iota
+	phaseTrying
+	phaseExiting
+)
+
+// Lock is the recoverable CAS spin lock algorithm.
+type Lock struct{}
+
+var _ mutex.Algorithm = Lock{}
+
+// New returns the algorithm.
+func New() Lock { return Lock{} }
+
+// Name identifies the algorithm.
+func (Lock) Name() string { return "rspin" }
+
+// Recoverable reports true.
+func (Lock) Recoverable() bool { return true }
+
+// Make allocates the lock word (holding ids as id+1, so 2^w > n is required)
+// and one persistent phase cell per process in its own segment.
+func (Lock) Make(mem memory.Allocator, n int) (mutex.Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("rspin: need at least 1 process, got %d", n)
+	}
+	if !mem.Width().Fits(word.Word(n)) {
+		return nil, fmt.Errorf("rspin: %d processes need ids wider than %d bits", n, mem.Width())
+	}
+	if !mem.Width().Fits(phaseExiting) {
+		return nil, fmt.Errorf("rspin: word width %d too narrow for phase cells", mem.Width())
+	}
+	in := &instance{
+		lock:  mem.NewCell("rspin.lock", memory.Shared, 0),
+		phase: make([]memory.Cell, n),
+	}
+	for i := 0; i < n; i++ {
+		in.phase[i] = mem.NewCell("rspin.phase."+strconv.Itoa(i), i, phaseIdle)
+	}
+	return in, nil
+}
+
+type instance struct {
+	lock  memory.Cell
+	phase []memory.Cell
+}
+
+var _ mutex.Instance = (*instance)(nil)
+
+func (in *instance) Bind(env memory.Env) mutex.Handle {
+	return &handle{env: env, in: in, id: env.ID()}
+}
+
+type handle struct {
+	env memory.Env
+	in  *instance
+	id  int
+}
+
+var _ mutex.Handle = (*handle)(nil)
+
+func (h *handle) me() word.Word { return word.Word(h.id + 1) }
+
+// Lock persists the trying phase, then competes by installing the caller's
+// id with CAS.
+func (h *handle) Lock() {
+	h.env.Write(h.in.phase[h.id], phaseTrying)
+	h.acquire()
+}
+
+// acquire loops CAS(0 -> me), parking while the lock is held.
+func (h *handle) acquire() {
+	for {
+		if h.env.CAS(h.in.lock, 0, h.me()) == 0 {
+			return
+		}
+		h.env.SpinUntil(h.in.lock, func(v word.Word) bool { return v == 0 })
+	}
+}
+
+// Unlock persists the exiting phase, frees the lock, and returns to idle.
+func (h *handle) Unlock() {
+	h.env.Write(h.in.phase[h.id], phaseExiting)
+	h.env.Write(h.in.lock, 0)
+	h.env.Write(h.in.phase[h.id], phaseIdle)
+}
+
+// Recover re-derives the protocol position from the persistent phase cell and
+// the id stored in the lock word.
+func (h *handle) Recover() mutex.RecoverStatus {
+	switch h.env.Read(h.in.phase[h.id]) {
+	case phaseTrying:
+		// Did our CAS take effect before the crash? The lock word knows.
+		if h.env.Read(h.in.lock) == h.me() {
+			return mutex.RecoverAcquired
+		}
+		h.acquire()
+		return mutex.RecoverAcquired
+	case phaseExiting:
+		// The release write may or may not have landed; it is idempotent to
+		// complete it, and only we can hold our own id.
+		if h.env.Read(h.in.lock) == h.me() {
+			h.env.Write(h.in.lock, 0)
+		}
+		h.env.Write(h.in.phase[h.id], phaseIdle)
+		return mutex.RecoverReleased
+	default:
+		return mutex.RecoverIdle
+	}
+}

@@ -1,0 +1,99 @@
+package rspin_test
+
+import (
+	"testing"
+
+	"rme/internal/algorithms/rspin"
+	"rme/internal/algtest"
+	"rme/internal/memory"
+	"rme/internal/mutex"
+	"rme/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	algtest.Run(t, rspin.New(), algtest.Options{})
+}
+
+func TestWidthValidation(t *testing.T) {
+	mem, err := memory.NewNativeMem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rspin.New().Make(mem, 4); err == nil {
+		t.Error("4 processes on 2-bit words must be rejected")
+	}
+	if _, err := rspin.New().Make(mem, 3); err != nil {
+		t.Errorf("3 processes on 2-bit words should work: %v", err)
+	}
+}
+
+func TestCrashWhileHoldingIsRecovered(t *testing.T) {
+	// p0 acquires the lock, crashes inside the CS, and must re-acquire on
+	// recovery (critical-section re-entry) while p1 keeps waiting.
+	s, err := mutex.NewSession(mutex.Config{
+		Procs: 2, Width: 8, Model: sim.CC, Algorithm: rspin.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	m := s.Machine()
+
+	// Drive p0 until it is in the CS.
+	for m.Tag(0) != mutex.TagCS {
+		if _, err := s.StepProc(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.CrashProc(0); err != nil {
+		t.Fatal(err)
+	}
+	// Let everything finish; the monitor catches any CSR violation (p1
+	// entering while crashed p0 still owns).
+	if err := s.RunRoundRobin(); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Violations(); len(v) > 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	if m.Crashes(0) != 1 {
+		t.Errorf("crashes = %d", m.Crashes(0))
+	}
+}
+
+func TestRecoverStatsMarkRecoveryPassages(t *testing.T) {
+	s, err := mutex.NewSession(mutex.Config{
+		Procs: 2, Width: 8, Model: sim.CC, Algorithm: rspin.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	m := s.Machine()
+	for m.Tag(0) != mutex.TagCS {
+		if _, err := s.StepProc(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.CrashProc(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunRoundRobin(); err != nil {
+		t.Fatal(err)
+	}
+	var crashEnded, recovery int
+	for _, st := range s.Stats() {
+		if st.Proc != 0 {
+			continue
+		}
+		if st.EndedByCrash {
+			crashEnded++
+		}
+		if st.Recovery {
+			recovery++
+		}
+	}
+	if crashEnded != 1 || recovery != 1 {
+		t.Errorf("crash-ended passages = %d, recovery passages = %d; want 1 and 1", crashEnded, recovery)
+	}
+}

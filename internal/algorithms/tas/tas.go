@@ -1,0 +1,71 @@
+// Package tas implements the simplest conventional mutual exclusion
+// algorithm: a test-and-set spin lock. It is the unbounded-RMR baseline of
+// the experiment landscape (every handoff invalidates every waiter's cache
+// copy, so a passage can cost Θ(contenders) RMRs in CC and is unbounded in
+// DSM), and it is not recoverable: a crash while holding the lock wedges the
+// system.
+package tas
+
+import (
+	"fmt"
+
+	"rme/internal/memory"
+	"rme/internal/mutex"
+	"rme/internal/word"
+)
+
+// Lock is the test-and-set spin lock algorithm.
+type Lock struct{}
+
+var _ mutex.Algorithm = Lock{}
+
+// New returns the algorithm.
+func New() Lock { return Lock{} }
+
+// Name identifies the algorithm.
+func (Lock) Name() string { return "tas" }
+
+// Recoverable reports false: TAS cannot survive crashes.
+func (Lock) Recoverable() bool { return false }
+
+// Make allocates the single lock word.
+func (Lock) Make(mem memory.Allocator, n int) (mutex.Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("tas: need at least 1 process, got %d", n)
+	}
+	return &instance{lock: mem.NewCell("tas.lock", memory.Shared, 0)}, nil
+}
+
+type instance struct {
+	lock memory.Cell
+}
+
+var _ mutex.Instance = (*instance)(nil)
+
+func (in *instance) Bind(env memory.Env) mutex.Handle {
+	return &handle{env: env, lock: in.lock}
+}
+
+type handle struct {
+	mutex.Unrecoverable
+
+	env  memory.Env
+	lock memory.Cell
+}
+
+var _ mutex.Handle = (*handle)(nil)
+
+// Lock spins until the test-and-set succeeds.
+func (h *handle) Lock() {
+	for {
+		if memory.TAS(h.env, h.lock) {
+			return
+		}
+		h.env.SpinUntil(h.lock, func(v word.Word) bool { return v == 0 })
+	}
+}
+
+// Unlock releases the lock.
+func (h *handle) Unlock() {
+	h.env.Write(h.lock, 0)
+}

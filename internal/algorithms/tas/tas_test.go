@@ -1,0 +1,52 @@
+package tas_test
+
+import (
+	"testing"
+
+	"rme/internal/algorithms/tas"
+	"rme/internal/algtest"
+	"rme/internal/mutex"
+	"rme/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	algtest.Run(t, tas.New(), algtest.Options{})
+}
+
+func TestNameAndRecoverability(t *testing.T) {
+	alg := tas.New()
+	if alg.Name() != "tas" {
+		t.Errorf("name = %q", alg.Name())
+	}
+	if alg.Recoverable() {
+		t.Error("tas must not claim recoverability")
+	}
+}
+
+func TestCrashRefused(t *testing.T) {
+	s, err := mutex.NewSession(mutex.Config{
+		Procs: 2, Width: 8, Model: sim.CC, Algorithm: tas.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.CrashProc(0); err == nil {
+		t.Fatal("crashing a non-recoverable algorithm must be refused")
+	}
+}
+
+func TestWorksAtWidthOne(t *testing.T) {
+	// TAS stores only 0/1, so it works even on 1-bit words — the extreme
+	// end of the paper's word-size spectrum.
+	s, err := mutex.NewSession(mutex.Config{
+		Procs: 4, Width: 1, Model: sim.CC, Algorithm: tas.New(), Passes: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.RunRoundRobin(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+// Package ticket implements the classic fetch-and-increment ticket lock, the
+// O(1)-RMR (CC model) conventional baseline [cf. paper §1: fetch-and-store /
+// fetch-and-increment give O(1) conventional mutual exclusion].
+//
+// The ticket lock is the canonical example of why conventional constant-RMR
+// algorithms break under crashes: a ticket drawn by fetch-and-increment is
+// anonymous — if the process crashes between drawing the ticket and recording
+// it, the ticket is lost, now-serving never reaches anyone, and the lock
+// wedges. The recoverable algorithms in sibling packages work around this by
+// using ID-carrying operations whose effect can be re-read from shared
+// memory (grlock: writes; rspin: CAS installing the caller's id; watree:
+// fetch-and-add on the caller's own bit).
+package ticket
+
+import (
+	"fmt"
+
+	"rme/internal/memory"
+	"rme/internal/mutex"
+	"rme/internal/word"
+)
+
+// Lock is the ticket lock algorithm.
+type Lock struct{}
+
+var _ mutex.Algorithm = Lock{}
+
+// New returns the algorithm.
+func New() Lock { return Lock{} }
+
+// Name identifies the algorithm.
+func (Lock) Name() string { return "ticket" }
+
+// Recoverable reports false (see the package comment).
+func (Lock) Recoverable() bool { return false }
+
+// Make allocates the two counters. Tickets live in w-bit words and wrap mod
+// 2^w; correctness requires at most 2^w - 1 outstanding tickets, i.e.
+// n < 2^w.
+func (Lock) Make(mem memory.Allocator, n int) (mutex.Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("ticket: need at least 1 process, got %d", n)
+	}
+	if !mem.Width().Fits(word.Word(n)) {
+		return nil, fmt.Errorf("ticket: %d processes need tickets wider than %d bits", n, mem.Width())
+	}
+	return &instance{
+		next:    mem.NewCell("ticket.next", memory.Shared, 0),
+		serving: mem.NewCell("ticket.serving", memory.Shared, 0),
+	}, nil
+}
+
+type instance struct {
+	next    memory.Cell
+	serving memory.Cell
+}
+
+var _ mutex.Instance = (*instance)(nil)
+
+func (in *instance) Bind(env memory.Env) mutex.Handle {
+	return &handle{env: env, next: in.next, serving: in.serving}
+}
+
+type handle struct {
+	mutex.Unrecoverable
+
+	env     memory.Env
+	next    memory.Cell
+	serving memory.Cell
+}
+
+var _ mutex.Handle = (*handle)(nil)
+
+// Lock draws a ticket and waits until it is served.
+func (h *handle) Lock() {
+	t := memory.FAI(h.env, h.next)
+	h.env.SpinUntil(h.serving, func(v word.Word) bool { return v == t })
+}
+
+// Unlock serves the next ticket.
+func (h *handle) Unlock() {
+	h.env.Add(h.serving, 1)
+}

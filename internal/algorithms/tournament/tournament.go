@@ -1,0 +1,125 @@
+// Package tournament implements a conventional read/write tournament lock: a
+// binary arbitration tree with a two-process Peterson lock at each internal
+// node. It fills the role of the Yang–Anderson algorithm [23] in the paper's
+// landscape — the Θ(log n) bound for mutual exclusion from reads and writes
+// in the CC model [2, 23].
+//
+// Waiting at a node watches two locations (the rival's flag and the victim
+// word); under the simulator this uses SpinUntilMulti, whose cost model
+// matches CC local spinning (one RMR per invalidation-triggered recheck).
+// The algorithm is presented as a CC algorithm only; the sibling package
+// yatree reproduces Yang–Anderson's DSM-local-spin machinery.
+package tournament
+
+import (
+	"fmt"
+	"strconv"
+
+	"rme/internal/memory"
+	"rme/internal/mutex"
+	"rme/internal/word"
+)
+
+// Lock is the Peterson tournament tree algorithm.
+type Lock struct{}
+
+var _ mutex.Algorithm = Lock{}
+
+// New returns the algorithm.
+func New() Lock { return Lock{} }
+
+// Name identifies the algorithm.
+func (Lock) Name() string { return "tournament" }
+
+// Recoverable reports false: Peterson nodes hold no recoverable intent.
+func (Lock) Recoverable() bool { return false }
+
+// node is one two-process Peterson lock.
+type node struct {
+	flag   [2]memory.Cell
+	victim memory.Cell
+}
+
+type instance struct {
+	n      int
+	levels int
+	// nodes[l][i] arbitrates subtree i at level l; level 0 is the root.
+	nodes [][]node
+}
+
+var _ mutex.Instance = (*instance)(nil)
+
+// Make builds a binary tree with ceil(log2 n) levels of Peterson nodes.
+// Values stored are 0/1, so any valid word width works.
+func (Lock) Make(mem memory.Allocator, n int) (mutex.Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("tournament: need at least 1 process, got %d", n)
+	}
+	levels := word.CeilLog(2, n)
+	in := &instance{n: n, levels: levels, nodes: make([][]node, levels)}
+	for l := 0; l < levels; l++ {
+		count := 1 << uint(l)
+		in.nodes[l] = make([]node, count)
+		for i := 0; i < count; i++ {
+			prefix := "tournament.L" + strconv.Itoa(l) + "." + strconv.Itoa(i)
+			in.nodes[l][i] = node{
+				flag: [2]memory.Cell{
+					mem.NewCell(prefix+".flag0", memory.Shared, 0),
+					mem.NewCell(prefix+".flag1", memory.Shared, 0),
+				},
+				victim: mem.NewCell(prefix+".victim", memory.Shared, 0),
+			}
+		}
+	}
+	return in, nil
+}
+
+func (in *instance) Bind(env memory.Env) mutex.Handle {
+	return &handle{env: env, in: in, id: env.ID()}
+}
+
+type handle struct {
+	mutex.Unrecoverable
+
+	env memory.Env
+	in  *instance
+	id  int
+}
+
+var _ mutex.Handle = (*handle)(nil)
+
+// nodeAt returns the node and side process h.id competes on at the given
+// level (level in.levels-1 is the leaf level, 0 the root).
+func (h *handle) nodeAt(level int) (*node, int) {
+	idx := h.id >> uint(h.in.levels-level) // ancestor subtree index at this level
+	side := (h.id >> uint(h.in.levels-level-1)) & 1
+	return &h.in.nodes[level][idx], side
+}
+
+// Lock climbs the tree, winning the Peterson lock at each node.
+func (h *handle) Lock() {
+	for level := h.in.levels - 1; level >= 0; level-- {
+		nd, side := h.nodeAt(level)
+		h.peterson(nd, side)
+	}
+}
+
+// peterson acquires one two-process Peterson lock from the given side.
+func (h *handle) peterson(nd *node, side int) {
+	other := 1 - side
+	h.env.Write(nd.flag[side], 1)
+	h.env.Write(nd.victim, word.Word(side))
+	// Wait until the rival is absent or the rival is the victim.
+	h.env.SpinUntilMulti(
+		[]memory.Cell{nd.flag[other], nd.victim},
+		func(vs []word.Word) bool { return vs[0] == 0 || vs[1] != word.Word(side) },
+	)
+}
+
+// Unlock descends the tree, releasing each node's Peterson lock.
+func (h *handle) Unlock() {
+	for level := 0; level < h.in.levels; level++ {
+		nd, side := h.nodeAt(level)
+		h.env.Write(nd.flag[side], 0)
+	}
+}

@@ -1,0 +1,203 @@
+// Package yatree implements a Yang–Anderson-class tournament lock [23]: an
+// n-process mutual exclusion algorithm from reads and writes only, with
+// Θ(log n) RMRs per passage in the CC *and* the DSM model — the read/write
+// algorithm whose optimality [2] anchors the paper's conventional landscape.
+//
+// Each internal node runs a two-process Peterson protocol between the
+// winners of its subtrees. What makes the lock DSM-local (the Yang–Anderson
+// contribution this package reproduces, by a simpler handshake than their
+// original) is how waiting works: a process never spins on the node's
+// cells. Instead it
+//
+//  1. registers its identity in the node's per-side waiter cell,
+//  2. arms a gate cell in its own memory segment (one per process per
+//     level), re-checks the Peterson condition (closing the lost-wakeup
+//     race: any enabling event that the waker issued before reading the
+//     waiter cell is visible to this re-check), and
+//  3. spins on its own gate.
+//
+// The two events that can enable a waiter — the rival writing the victim
+// word on arrival, and the rival clearing its flag on exit — are followed
+// by reading the opposing waiter cell and writing that process's gate: a
+// targeted, constant-cost wakeup into the waiter's own segment. Stale
+// registrations only cause spurious wakeups, which the waiting loop's
+// re-check absorbs.
+package yatree
+
+import (
+	"fmt"
+	"strconv"
+
+	"rme/internal/memory"
+	"rme/internal/mutex"
+	"rme/internal/word"
+)
+
+// Gate states: a waiter arms its own gate and sleeps until a waker clears it.
+const (
+	gateOpen  word.Word = 0
+	gateArmed word.Word = 1
+)
+
+// Lock is the DSM-local read/write tournament algorithm.
+type Lock struct{}
+
+var _ mutex.Algorithm = Lock{}
+
+// New returns the algorithm.
+func New() Lock { return Lock{} }
+
+// Name identifies the algorithm.
+func (Lock) Name() string { return "yatree" }
+
+// Recoverable reports false: the Peterson flags carry no recoverable intent.
+func (Lock) Recoverable() bool { return false }
+
+// node is one two-process Peterson arbitration point with waiter
+// registration for targeted wakeups.
+type node struct {
+	flag   [2]memory.Cell
+	victim memory.Cell
+	// waiter[s] holds id+1 of the process currently waiting on side s
+	// (0 = none); read by the rival to find whose gate to open.
+	waiter [2]memory.Cell
+}
+
+type instance struct {
+	n      int
+	levels int
+	nodes  [][]node
+	// gate[l][p] is process p's spin cell for level l, in p's own segment.
+	gate [][]memory.Cell
+}
+
+var _ mutex.Instance = (*instance)(nil)
+
+// Make builds the binary tree. Waiter cells hold ids as id+1, so w must
+// satisfy 2^w > n.
+func (Lock) Make(mem memory.Allocator, n int) (mutex.Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("yatree: need at least 1 process, got %d", n)
+	}
+	if !mem.Width().Fits(word.Word(n)) {
+		return nil, fmt.Errorf("yatree: %d processes need ids wider than %d bits", n, mem.Width())
+	}
+	levels := word.CeilLog(2, n)
+	in := &instance{n: n, levels: levels, nodes: make([][]node, levels)}
+	for l := 0; l < levels; l++ {
+		count := 1 << uint(l)
+		in.nodes[l] = make([]node, count)
+		for i := 0; i < count; i++ {
+			prefix := "yatree.L" + strconv.Itoa(l) + "." + strconv.Itoa(i)
+			in.nodes[l][i] = node{
+				flag: [2]memory.Cell{
+					mem.NewCell(prefix+".flag0", memory.Shared, 0),
+					mem.NewCell(prefix+".flag1", memory.Shared, 0),
+				},
+				victim: mem.NewCell(prefix+".victim", memory.Shared, 0),
+				waiter: [2]memory.Cell{
+					mem.NewCell(prefix+".waiter0", memory.Shared, 0),
+					mem.NewCell(prefix+".waiter1", memory.Shared, 0),
+				},
+			}
+		}
+	}
+	in.gate = make([][]memory.Cell, levels)
+	for l := 0; l < levels; l++ {
+		in.gate[l] = make([]memory.Cell, n)
+		for p := 0; p < n; p++ {
+			in.gate[l][p] = mem.NewCell(
+				"yatree.gate."+strconv.Itoa(l)+"."+strconv.Itoa(p), p, gateOpen)
+		}
+	}
+	return in, nil
+}
+
+func (in *instance) Bind(env memory.Env) mutex.Handle {
+	return &handle{env: env, in: in, id: env.ID()}
+}
+
+type handle struct {
+	mutex.Unrecoverable
+
+	env memory.Env
+	in  *instance
+	id  int
+}
+
+var _ mutex.Handle = (*handle)(nil)
+
+// nodeAt returns the node and side process h.id competes on at the given
+// level (level in.levels-1 is the leaf level, 0 the root).
+func (h *handle) nodeAt(level int) (*node, int) {
+	idx := h.id >> uint(h.in.levels-level)
+	side := (h.id >> uint(h.in.levels-level-1)) & 1
+	return &h.in.nodes[level][idx], side
+}
+
+// Lock climbs the tree, winning each node's Peterson protocol with
+// DSM-local waiting.
+func (h *handle) Lock() {
+	for level := h.in.levels - 1; level >= 0; level-- {
+		h.nodeLock(level)
+	}
+}
+
+// allowed evaluates the Peterson condition from the given side: proceed
+// when the rival is absent or the rival is the victim.
+func (h *handle) allowed(nd *node, side int) bool {
+	other := 1 - side
+	if h.env.Read(nd.flag[other]) == 0 {
+		return true
+	}
+	return h.env.Read(nd.victim) != word.Word(side)
+}
+
+// nodeLock acquires one node. After announcing (flag, victim) it wakes the
+// rival — writing the victim word may have enabled it — then waits with the
+// register / arm / re-check / spin handshake.
+func (h *handle) nodeLock(level int) {
+	nd, side := h.nodeAt(level)
+	other := 1 - side
+	h.env.Write(nd.flag[side], 1)
+	h.env.Write(nd.victim, word.Word(side))
+	h.wakeRival(level, nd, other)
+
+	gate := h.in.gate[level][h.id]
+	for {
+		if h.allowed(nd, side) {
+			return
+		}
+		h.env.Write(nd.waiter[side], word.Word(h.id+1))
+		h.env.Write(gate, gateArmed)
+		// Re-check after registering: any enabling event issued before the
+		// waker read our registration is visible here, so a wakeup cannot
+		// be lost.
+		if h.allowed(nd, side) {
+			h.env.Write(gate, gateOpen)
+			return
+		}
+		h.env.SpinUntil(gate, func(v word.Word) bool { return v == gateOpen })
+	}
+}
+
+// Unlock descends the tree, clearing each node's flag and waking the rival
+// the clear may have enabled.
+func (h *handle) Unlock() {
+	for level := 0; level < h.in.levels; level++ {
+		nd, side := h.nodeAt(level)
+		h.env.Write(nd.flag[side], 0)
+		h.wakeRival(level, nd, 1-side)
+	}
+}
+
+// wakeRival opens the gate of whichever process is registered as waiting on
+// the node's given side. Stale registrations cause at most a spurious
+// wakeup, absorbed by the waiter's re-check loop.
+func (h *handle) wakeRival(level int, nd *node, side int) {
+	w := h.env.Read(nd.waiter[side])
+	if w == 0 {
+		return
+	}
+	h.env.Write(h.in.gate[level][int(w-1)], gateOpen)
+}

@@ -1,0 +1,373 @@
+// Package algtest is a reusable conformance suite for mutual exclusion
+// algorithms: mutual exclusion, progress, and — for recoverable algorithms —
+// systematic crash injection at every step of a base schedule, double
+// crashes, and randomized crash storms. Every algorithm package runs this
+// suite; the model checker in internal/check explores interleavings more
+// aggressively on top.
+package algtest
+
+import (
+	"fmt"
+	"testing"
+
+	"rme/internal/mutex"
+	"rme/internal/sim"
+	"rme/internal/word"
+)
+
+// Options tunes the conformance run for an algorithm's constraints.
+type Options struct {
+	// Width is the word size used for most tests (default 16).
+	Width word.Width
+	// MaxProcs caps the process counts exercised (default 8).
+	MaxProcs int
+	// Seeds is the number of random-schedule seeds (default 30).
+	Seeds int
+	// SkipDSM skips DSM-model runs (for CC-only algorithms whose waiting is
+	// not DSM-local; their correctness is model-independent, so this only
+	// reduces redundancy, but it documents intent).
+	SkipDSM bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width == 0 {
+		o.Width = 16
+	}
+	if o.MaxProcs == 0 {
+		o.MaxProcs = 8
+	}
+	if o.Seeds == 0 {
+		o.Seeds = 30
+	}
+	return o
+}
+
+// Run executes the full conformance suite as subtests.
+func Run(t *testing.T, alg mutex.Algorithm, opts Options) {
+	t.Helper()
+	opts = opts.withDefaults()
+
+	models := []sim.Model{sim.CC}
+	if !opts.SkipDSM {
+		models = append(models, sim.DSM)
+	}
+
+	t.Run("Solo", func(t *testing.T) { testSolo(t, alg, opts) })
+	for _, model := range models {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			t.Run("RoundRobin", func(t *testing.T) { testRoundRobin(t, alg, opts, model) })
+			t.Run("RandomSchedules", func(t *testing.T) { testRandom(t, alg, opts, model) })
+			if alg.Recoverable() {
+				t.Run("CrashEverywhere", func(t *testing.T) { testCrashEverywhere(t, alg, opts, model) })
+				t.Run("CrashParked", func(t *testing.T) { testCrashParked(t, alg, opts, model) })
+				t.Run("DoubleCrash", func(t *testing.T) { testDoubleCrash(t, alg, opts, model) })
+				t.Run("CrashStorm", func(t *testing.T) { testCrashStorm(t, alg, opts, model) })
+				t.Run("SystemWideCrash", func(t *testing.T) { testSystemWideCrash(t, alg, opts, model) })
+			}
+		})
+	}
+}
+
+func newSession(t *testing.T, alg mutex.Algorithm, opts Options, model sim.Model, procs, passes int) *mutex.Session {
+	t.Helper()
+	s, err := mutex.NewSession(mutex.Config{
+		Procs:     procs,
+		Width:     opts.Width,
+		Model:     model,
+		Algorithm: alg,
+		Passes:    passes,
+		NoTrace:   true,
+	})
+	if err != nil {
+		t.Fatalf("new session (n=%d): %v", procs, err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func testSolo(t *testing.T, alg mutex.Algorithm, opts Options) {
+	s := newSession(t, alg, opts, sim.CC, 1, 3)
+	if err := s.RunRoundRobin(); err != nil {
+		t.Fatalf("solo run: %v", err)
+	}
+	assertCompleted(t, s, 1, 3)
+}
+
+func procCounts(maxProcs int) []int {
+	counts := []int{2, 3, 5, 8, 13}
+	var out []int
+	for _, c := range counts {
+		if c <= maxProcs {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func testRoundRobin(t *testing.T, alg mutex.Algorithm, opts Options, model sim.Model) {
+	for _, n := range procCounts(opts.MaxProcs) {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			s := newSession(t, alg, opts, model, n, 2)
+			if err := s.RunRoundRobin(); err != nil {
+				t.Fatalf("round robin: %v", err)
+			}
+			assertCompleted(t, s, n, 2)
+		})
+	}
+}
+
+func testRandom(t *testing.T, alg mutex.Algorithm, opts Options, model sim.Model) {
+	for _, n := range procCounts(opts.MaxProcs) {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			for seed := 0; seed < opts.Seeds; seed++ {
+				s := newSession(t, alg, opts, model, n, 2)
+				if err := s.RunRandom(int64(seed), mutex.RandomRunOptions{}); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				assertCompleted(t, s, n, 2)
+				s.Close()
+			}
+		})
+	}
+}
+
+// testCrashEverywhere replays a deterministic round-robin execution and, in
+// each replica, injects a crash at one distinct step position — covering
+// every crash window of the base execution.
+func testCrashEverywhere(t *testing.T, alg mutex.Algorithm, opts Options, model sim.Model) {
+	const n, passes = 3, 1
+	// Measure the base execution length.
+	base := newSession(t, alg, opts, model, n, passes)
+	if err := base.RunRoundRobin(); err != nil {
+		t.Fatalf("base run: %v", err)
+	}
+	steps := base.Machine().Steps()
+	if steps == 0 {
+		t.Fatal("base run took no steps")
+	}
+
+	for at := 0; at < steps; at++ {
+		at := at
+		s := newSession(t, alg, opts, model, n, passes)
+		if err := runRoundRobinCrashAt(s, []int{at}); err != nil {
+			t.Fatalf("crash at step %d: %v", at, err)
+		}
+		assertCompleted(t, s, n, passes)
+		s.Close()
+	}
+}
+
+// testCrashParked crashes a process while it is parked on a spin wait — a
+// recovery window the poised-process sweeps cannot reach. For each decision
+// index of the base execution at which some process is parked, one replica
+// crashes the lowest-id parked process at that point.
+func testCrashParked(t *testing.T, alg mutex.Algorithm, opts Options, model sim.Model) {
+	const n, passes = 3, 1
+	base := newSession(t, alg, opts, model, n, passes)
+	if err := base.RunRoundRobin(); err != nil {
+		t.Fatalf("base run: %v", err)
+	}
+	steps := base.Machine().Steps()
+
+	for at := 0; at < steps; at++ {
+		s := newSession(t, alg, opts, model, n, passes)
+		if err := runCrashParkedAt(s, at); err != nil {
+			t.Fatalf("parked crash at decision %d: %v", at, err)
+		}
+		assertCompleted(t, s, n, passes)
+		s.Close()
+	}
+}
+
+// runCrashParkedAt drives round-robin; at decision index `at` it crashes the
+// lowest-id parked process (if any) before continuing.
+func runCrashParkedAt(s *mutex.Session, at int) error {
+	m := s.Machine()
+	decision := 0
+	crashed := false
+	for !m.AllDone() {
+		poised := m.PoisedProcs()
+		if len(poised) == 0 {
+			return mutex.ErrStuck
+		}
+		for _, p := range poised {
+			if m.ProcDone(p) || !m.Poised(p) {
+				continue
+			}
+			if decision == at && !crashed {
+				crashed = true
+				for q := 0; q < s.Config().Procs; q++ {
+					if !m.ProcDone(q) && m.Parked(q) {
+						if _, err := s.CrashProc(q); err != nil {
+							return err
+						}
+						break
+					}
+				}
+			}
+			if _, err := s.StepProc(p); err != nil {
+				return err
+			}
+			decision++
+		}
+	}
+	if v := s.Violations(); len(v) > 0 {
+		return fmt.Errorf("%d violations; first: %s", len(v), v[0])
+	}
+	return nil
+}
+
+// testDoubleCrash injects two crashes (possibly hitting the same process's
+// recovery) at sampled pairs of positions.
+func testDoubleCrash(t *testing.T, alg mutex.Algorithm, opts Options, model sim.Model) {
+	const n, passes = 2, 1
+	base := newSession(t, alg, opts, model, n, passes)
+	if err := base.RunRoundRobin(); err != nil {
+		t.Fatalf("base run: %v", err)
+	}
+	steps := base.Machine().Steps()
+
+	stride := steps/6 + 1
+	for i := 0; i < steps; i += stride {
+		for j := i + 1; j < steps+4; j += stride {
+			s := newSession(t, alg, opts, model, n, passes)
+			if err := runRoundRobinCrashAt(s, []int{i, j}); err != nil {
+				t.Fatalf("crashes at %d,%d: %v", i, j, err)
+			}
+			assertCompleted(t, s, n, passes)
+			s.Close()
+		}
+	}
+}
+
+func testCrashStorm(t *testing.T, alg mutex.Algorithm, opts Options, model sim.Model) {
+	for _, n := range procCounts(opts.MaxProcs) {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			for seed := 0; seed < opts.Seeds; seed++ {
+				s := newSession(t, alg, opts, model, n, 2)
+				err := s.RunRandom(int64(seed), mutex.RandomRunOptions{
+					CrashProb:         0.05,
+					MaxCrashesPerProc: 3,
+				})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				assertCompleted(t, s, n, 2)
+				s.Close()
+			}
+		})
+	}
+}
+
+// testSystemWideCrash crashes every live process simultaneously at sampled
+// points of the base execution — the system-wide failure model the paper
+// contrasts with its individual-crash model (§4). Individual-crash
+// recoverability implies system-wide recoverability, so every algorithm in
+// the suite must survive it.
+func testSystemWideCrash(t *testing.T, alg mutex.Algorithm, opts Options, model sim.Model) {
+	const n, passes = 3, 1
+	base := newSession(t, alg, opts, model, n, passes)
+	if err := base.RunRoundRobin(); err != nil {
+		t.Fatalf("base run: %v", err)
+	}
+	steps := base.Machine().Steps()
+
+	stride := steps/8 + 1
+	for at := 0; at < steps; at += stride {
+		s := newSession(t, alg, opts, model, n, passes)
+		m := s.Machine()
+		decision := 0
+		crashed := false
+		for !m.AllDone() {
+			poised := m.PoisedProcs()
+			if len(poised) == 0 {
+				t.Fatalf("crash-all at %d: stuck", at)
+			}
+			for _, p := range poised {
+				if m.ProcDone(p) || !m.Poised(p) {
+					continue
+				}
+				if decision == at && !crashed {
+					crashed = true
+					if err := s.CrashAllProcs(); err != nil {
+						t.Fatalf("crash-all at %d: %v", at, err)
+					}
+					break // poised set is stale after a crash wave
+				}
+				if _, err := s.StepProc(p); err != nil {
+					t.Fatal(err)
+				}
+				decision++
+			}
+		}
+		assertCompleted(t, s, n, passes)
+		s.Close()
+	}
+}
+
+// runRoundRobinCrashAt drives the session round-robin, but at each scheduler
+// decision whose index is in crashAt, the chosen process crashes instead of
+// stepping. Positions beyond the execution length are ignored.
+func runRoundRobinCrashAt(s *mutex.Session, crashAt []int) error {
+	when := make(map[int]bool, len(crashAt))
+	for _, a := range crashAt {
+		when[a] = true
+	}
+	m := s.Machine()
+	decision := 0
+	for !m.AllDone() {
+		poised := m.PoisedProcs()
+		if len(poised) == 0 {
+			return mutex.ErrStuck
+		}
+		for _, p := range poised {
+			if m.ProcDone(p) || !m.Poised(p) {
+				continue
+			}
+			var err error
+			if when[decision] {
+				_, err = s.CrashProc(p)
+			} else {
+				_, err = s.StepProc(p)
+			}
+			if err != nil {
+				return err
+			}
+			decision++
+		}
+	}
+	if v := s.Violations(); len(v) > 0 {
+		return fmt.Errorf("%d violations; first: %s", len(v), v[0])
+	}
+	return nil
+}
+
+// assertCompleted verifies that every process finished the expected number
+// of super-passages and that no safety violation was recorded.
+func assertCompleted(t *testing.T, s *mutex.Session, procs, passes int) {
+	t.Helper()
+	if v := s.Violations(); len(v) > 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	m := s.Machine()
+	if !m.AllDone() {
+		t.Fatal("not all processes finished")
+	}
+	// Each process must have completed `passes` super-passages: count
+	// passage records that ended a super-passage (not crash-terminated).
+	completed := make([]int, procs)
+	for _, st := range s.Stats() {
+		if !st.EndedByCrash {
+			completed[st.Proc]++
+		}
+	}
+	for p, c := range completed {
+		if c < passes {
+			t.Errorf("p%d completed %d super-passage-ending passages, want >= %d", p, c, passes)
+		}
+	}
+}

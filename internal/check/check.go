@@ -1,0 +1,210 @@
+// Package check verifies mutual exclusion algorithms by bounded-exhaustive
+// interleaving exploration and randomized stress, on top of the per-step
+// safety monitors of package mutex.
+//
+// The exhaustive explorer enumerates scheduler decisions (which poised
+// process steps next; optionally, whether it crashes instead) by depth-first
+// search over schedule prefixes, rebuilding the deterministic machine for
+// each branch. Every complete schedule is checked for mutual exclusion and
+// critical-section re-entry (the driver's monitors) and for progress (no
+// deadlock). The search is exact up to its caps: if it finishes without
+// truncation, every schedule of the configuration was explored.
+package check
+
+import (
+	"errors"
+	"fmt"
+
+	"rme/internal/mutex"
+	"rme/internal/sim"
+)
+
+// Config parameterizes a check run.
+type Config struct {
+	// Session is the algorithm/machine configuration (Passes defaults to 1).
+	Session mutex.Config
+	// MaxSchedules caps the number of complete schedules explored
+	// (default 50000).
+	MaxSchedules int
+	// MaxDepth caps the schedule length (default 400).
+	MaxDepth int
+	// CrashesPerProc > 0 additionally branches on crash steps (recoverable
+	// algorithms only), up to the given number of crashes per process.
+	CrashesPerProc int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSchedules == 0 {
+		c.MaxSchedules = 50_000
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 400
+	}
+	if c.Session.Passes == 0 {
+		c.Session.Passes = 1
+	}
+	c.Session.NoTrace = true
+	return c
+}
+
+// Result reports a check run.
+type Result struct {
+	// Complete counts fully-explored schedules (all processes finished).
+	Complete int
+	// Truncated reports whether a cap stopped the search before covering
+	// the whole schedule space.
+	Truncated bool
+	// Violations lists safety failures with their schedules.
+	Violations []string
+	// Deadlocks lists schedules that wedged the system.
+	Deadlocks []string
+}
+
+// Ok reports whether no violation or deadlock was found.
+func (r *Result) Ok() bool { return len(r.Violations) == 0 && len(r.Deadlocks) == 0 }
+
+// Err summarizes failures as an error, or nil.
+func (r *Result) Err() error {
+	if r.Ok() {
+		return nil
+	}
+	msg := ""
+	if len(r.Violations) > 0 {
+		msg = r.Violations[0]
+	} else {
+		msg = "deadlock: " + r.Deadlocks[0]
+	}
+	return fmt.Errorf("check: %d violations, %d deadlocks; first: %s",
+		len(r.Violations), len(r.Deadlocks), msg)
+}
+
+// Exhaustive runs the bounded-exhaustive search.
+func Exhaustive(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Session.Validate(); err != nil {
+		return nil, err
+	}
+	e := &explorer{cfg: cfg, res: &Result{}}
+	if err := e.explore(nil); err != nil {
+		return nil, err
+	}
+	return e.res, nil
+}
+
+type explorer struct {
+	cfg Config
+	res *Result
+}
+
+// explore examines the execution reached by prefix, branching over every
+// enabled action.
+func (e *explorer) explore(prefix sim.Schedule) error {
+	if e.res.Complete >= e.cfg.MaxSchedules {
+		e.res.Truncated = true
+		return nil
+	}
+
+	s, err := mutex.NewSession(e.cfg.Session)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if err := applyPrefix(s, prefix); err != nil {
+		// The prefix was validated when it was constructed; failure here is
+		// an internal error.
+		return fmt.Errorf("check: replaying prefix %v: %w", prefix, err)
+	}
+	if v := s.Violations(); len(v) > 0 {
+		e.res.Violations = append(e.res.Violations,
+			fmt.Sprintf("%s [schedule %s]", v[0], prefix))
+		return nil
+	}
+
+	m := s.Machine()
+	if m.AllDone() {
+		e.res.Complete++
+		return nil
+	}
+	poised := m.PoisedProcs()
+	if len(poised) == 0 {
+		e.res.Deadlocks = append(e.res.Deadlocks, prefix.String())
+		return nil
+	}
+	if len(prefix) >= e.cfg.MaxDepth {
+		e.res.Truncated = true
+		return nil
+	}
+
+	recoverable := e.cfg.Session.Algorithm.Recoverable()
+	for _, p := range poised {
+		next := append(prefix.Clone(), sim.Action{Proc: p})
+		if err := e.explore(next); err != nil {
+			return err
+		}
+		if recoverable && e.cfg.CrashesPerProc > 0 && m.Crashes(p) < e.cfg.CrashesPerProc {
+			next := append(prefix.Clone(), sim.Action{Proc: p, Crash: true})
+			if err := e.explore(next); err != nil {
+				return err
+			}
+		}
+	}
+	// Crash branching for parked processes (they have no step branch but
+	// can still crash).
+	if recoverable && e.cfg.CrashesPerProc > 0 {
+		for p := 0; p < e.cfg.Session.Procs; p++ {
+			if m.ProcDone(p) || !m.Parked(p) || m.Crashes(p) >= e.cfg.CrashesPerProc {
+				continue
+			}
+			next := append(prefix.Clone(), sim.Action{Proc: p, Crash: true})
+			if err := e.explore(next); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func applyPrefix(s *mutex.Session, prefix sim.Schedule) error {
+	for _, act := range prefix {
+		var err error
+		if act.Crash {
+			_, err = s.CrashProc(act.Proc)
+		} else {
+			_, err = s.StepProc(act.Proc)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stress runs many randomized schedules (with optional crash injection) and
+// aggregates failures.
+func Stress(cfg Config, seeds int, crashProb float64) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Session.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for seed := 0; seed < seeds; seed++ {
+		s, err := mutex.NewSession(cfg.Session)
+		if err != nil {
+			return nil, err
+		}
+		runErr := s.RunRandom(int64(seed), mutex.RandomRunOptions{
+			CrashProb:         crashProb,
+			MaxCrashesPerProc: cfg.CrashesPerProc,
+		})
+		switch {
+		case runErr == nil:
+			res.Complete++
+		case errors.Is(runErr, mutex.ErrStuck):
+			res.Deadlocks = append(res.Deadlocks, fmt.Sprintf("seed %d: %s", seed, s.Machine().Schedule()))
+		default:
+			res.Violations = append(res.Violations, fmt.Sprintf("seed %d: %v", seed, runErr))
+		}
+		s.Close()
+	}
+	return res, nil
+}

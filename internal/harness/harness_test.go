@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:  "demo",
+		Note:   "a note that should wrap when it exceeds the configured width of the renderer by some margin",
+		Header: []string{"col", "value"},
+	}
+	tbl.AddRow("a", 1)
+	tbl.AddRow("bcd", 2.5)
+	var sb strings.Builder
+	tbl.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"## demo", "col", "value", "bcd", "2.50", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	exps := All()
+	if len(exps) != 12 {
+		t.Fatalf("%d experiments, want 12", len(exps))
+	}
+	seen := make(map[string]bool)
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil {
+			t.Errorf("%s has no Run", e.ID)
+		}
+	}
+	if _, ok := Find("E12"); !ok {
+		t.Error("E10 not found")
+	}
+	if _, ok := Find("E0"); ok {
+		t.Error("E0 found")
+	}
+}
+
+// TestExperimentsProduceTables runs every experiment at default scale and
+// validates the output shape. E1 and E5 are the slow ones (~15s combined);
+// they are skipped under -short.
+func TestExperimentsProduceTables(t *testing.T) {
+	slow := map[string]bool{"E1": true, "E5": true}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			if testing.Short() && slow[exp.ID] {
+				t.Skip("slow experiment")
+			}
+			tables, err := exp.Run(Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tbl := range tables {
+				if tbl.Title == "" || len(tbl.Header) == 0 || len(tbl.Rows) == 0 {
+					t.Errorf("malformed table %+v", tbl.Title)
+				}
+				for _, row := range tbl.Rows {
+					if len(row) != len(tbl.Header) {
+						t.Errorf("%s: row width %d != header width %d", tbl.Title, len(row), len(tbl.Header))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestE1ShapeMatchesTheory spot-checks the lower-bound table's monotonicity:
+// forced RMRs decrease in w (fixed n) and do not decrease in n (fixed w).
+func TestE1ShapeMatchesTheory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tables, err := runE1(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct{ n, w string }
+	forced := make(map[key]int)
+	for _, row := range tables[0].Rows {
+		v, err := strconv.Atoi(row[3])
+		if err != nil {
+			t.Fatalf("forced column not an int: %q", row[3])
+		}
+		forced[key{row[0], row[1]}] = v
+	}
+	if forced[key{"256", "4"}] <= forced[key{"256", "64"}] {
+		t.Errorf("n=256: forced RMRs should shrink with w: w4=%d w64=%d",
+			forced[key{"256", "4"}], forced[key{"256", "64"}])
+	}
+	if forced[key{"256", "4"}] < forced[key{"16", "4"}] {
+		t.Errorf("w=4: forced RMRs should not shrink with n: n16=%d n256=%d",
+			forced[key{"16", "4"}], forced[key{"256", "4"}])
+	}
+}

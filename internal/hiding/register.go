@@ -1,0 +1,50 @@
+package hiding
+
+import (
+	"fmt"
+
+	"rme/internal/memory"
+	"rme/internal/word"
+)
+
+// RegisterApply builds the Apply function induced by actual register
+// semantics: each process p is poised to perform ops[p] (an arbitrary
+// atomic operation), and f_y(A) is the register value after the processes
+// of A apply their operations, in the order given, to a w-bit register
+// holding y. This is exactly how the paper instantiates the Process-Hiding
+// Lemma in the high-contention round.
+func RegisterApply(w word.Width, ops map[Proc]memory.Op) (Apply, error) {
+	if !w.Valid() {
+		return nil, fmt.Errorf("hiding: invalid register width %d", w)
+	}
+	for p, op := range ops {
+		if op.Code == memory.OpCustom && op.F == nil {
+			return nil, fmt.Errorf("hiding: process %d has a custom op with nil transition", p)
+		}
+		if op.IsRead() {
+			return nil, fmt.Errorf("hiding: process %d is poised to read — the lemma's second case handles only non-read operations", p)
+		}
+	}
+	return func(y word.Word, ps []Proc) word.Word {
+		cur := w.Trunc(y)
+		for _, p := range ps {
+			op, ok := ops[p]
+			if !ok {
+				panic(fmt.Sprintf("hiding: no operation for process %d", p))
+			}
+			cur, _ = memory.Apply(op, cur, w)
+		}
+		return cur
+	}, nil
+}
+
+// UniformOp assigns the same operation to every process in the groups.
+func UniformOp(groups [][]Proc, op memory.Op) map[Proc]memory.Op {
+	out := make(map[Proc]memory.Op)
+	for _, g := range groups {
+		for _, p := range g {
+			out[p] = op
+		}
+	}
+	return out
+}

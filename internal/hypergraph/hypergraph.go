@@ -1,0 +1,178 @@
+// Package hypergraph implements the k-partite hypergraph machinery behind
+// the paper's Process-Hiding Lemma: the σ/π operators of Definition 3 and
+// constructive versions of Lemma 4 and Lemma 5.
+//
+// The paper states the lemmas existentially; their proofs are constructive,
+// and this package executes those constructions on explicit hypergraphs and
+// returns certificates (the sets Z, the hyperedge family F, the index d)
+// that tests verify against the lemmas' guarantees.
+//
+// One generalization: the lemmas' parameter s is treated as a positive real
+// rather than an integer. The proofs use s only inside inequalities (and in
+// |E| ≥ s^k), so nothing is lost, and it matches how the Process-Hiding
+// proof instantiates s = ⌊27δℓ⌋/1.2.
+package hypergraph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Vertex is a vertex identifier. Vertices are global: parts are disjoint
+// sets of vertices.
+type Vertex int
+
+// Edge is a hyperedge of a k-partite hypergraph: exactly one vertex per
+// part, indexed by part.
+type Edge []Vertex
+
+// Clone returns a copy of the edge.
+func (e Edge) Clone() Edge {
+	out := make(Edge, len(e))
+	copy(out, e)
+	return out
+}
+
+// String renders the edge as (v0,v1,...).
+func (e Edge) String() string {
+	parts := make([]string, len(e))
+	for i, v := range e {
+		parts[i] = strconv.Itoa(int(v))
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// key builds a map key for the edge with one coordinate skipped (skip < 0
+// keeps all coordinates).
+func (e Edge) key(skip int) string {
+	var b strings.Builder
+	for i, v := range e {
+		if i == skip {
+			continue
+		}
+		b.WriteString(strconv.Itoa(int(v)))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// Partite is a k-partite hypergraph with explicit parts and edges.
+type Partite struct {
+	Parts [][]Vertex
+	Edges []Edge
+}
+
+// K returns the number of parts.
+func (h *Partite) K() int { return len(h.Parts) }
+
+// Validate checks the structural invariants: every edge has one vertex per
+// part, belonging to that part, and parts are disjoint.
+func (h *Partite) Validate() error {
+	seen := make(map[Vertex]int)
+	members := make([]map[Vertex]bool, len(h.Parts))
+	for i, part := range h.Parts {
+		members[i] = make(map[Vertex]bool, len(part))
+		for _, v := range part {
+			if j, dup := seen[v]; dup {
+				return fmt.Errorf("hypergraph: vertex %d in parts %d and %d", v, j, i)
+			}
+			seen[v] = i
+			members[i][v] = true
+		}
+	}
+	for _, e := range h.Edges {
+		if len(e) != len(h.Parts) {
+			return fmt.Errorf("hypergraph: edge %v has %d coordinates for %d parts", e, len(e), len(h.Parts))
+		}
+		for i, v := range e {
+			if !members[i][v] {
+				return fmt.Errorf("hypergraph: edge %v coordinate %d (%d) not in part %d", e, i, v, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Complete builds the complete k-partite hypergraph over the given parts
+// (every combination of one vertex per part is an edge). The number of
+// edges is the product of part sizes; Complete refuses products over limit
+// to keep accidental blowups from eating all memory.
+func Complete(parts [][]Vertex, limit int) (*Partite, error) {
+	total := 1
+	for _, p := range parts {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("hypergraph: empty part")
+		}
+		if total > limit/len(p) {
+			return nil, fmt.Errorf("hypergraph: complete hypergraph exceeds %d edges", limit)
+		}
+		total *= len(p)
+	}
+	h := &Partite{Parts: parts, Edges: make([]Edge, 0, total)}
+	edge := make(Edge, len(parts))
+	var build func(i int)
+	build = func(i int) {
+		if i == len(parts) {
+			h.Edges = append(h.Edges, edge.Clone())
+			return
+		}
+		for _, v := range parts[i] {
+			edge[i] = v
+			build(i + 1)
+		}
+	}
+	build(0)
+	return h, nil
+}
+
+// Sigma returns σ_v(E): the edges containing v at the given part.
+func Sigma(edges []Edge, part int, v Vertex) []Edge {
+	var out []Edge
+	for _, e := range edges {
+		if e[part] == v {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Pi returns π_v(E): the edges containing v at the given part, with that
+// coordinate removed (deduplicated as sets of projected tuples).
+func Pi(edges []Edge, part int, v Vertex) []Edge {
+	seen := make(map[string]bool)
+	var out []Edge
+	for _, e := range edges {
+		if e[part] != v {
+			continue
+		}
+		k := e.key(part)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		proj := make(Edge, 0, len(e)-1)
+		for i, u := range e {
+			if i != part {
+				proj = append(proj, u)
+			}
+		}
+		out = append(out, proj)
+	}
+	return out
+}
+
+// piSizeIndex computes, for every vertex of the given part, the projected
+// edge set π_v(E) keyed by tuple string (cheaper than materializing edges).
+func piSizeIndex(edges []Edge, part int, partVerts []Vertex) map[Vertex]map[string]bool {
+	idx := make(map[Vertex]map[string]bool, len(partVerts))
+	for _, v := range partVerts {
+		idx[v] = make(map[string]bool)
+	}
+	for _, e := range edges {
+		if set, ok := idx[e[part]]; ok {
+			set[e.key(part)] = true
+		}
+	}
+	return idx
+}

@@ -1,0 +1,265 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// mkParts builds k disjoint parts of the given size with consecutive ids.
+func mkParts(k, size int) [][]Vertex {
+	parts := make([][]Vertex, k)
+	id := 0
+	for i := range parts {
+		parts[i] = make([]Vertex, size)
+		for j := range parts[i] {
+			parts[i][j] = Vertex(id)
+			id++
+		}
+	}
+	return parts
+}
+
+func TestCompleteCounts(t *testing.T) {
+	tests := []struct {
+		k, size, want int
+	}{
+		{1, 3, 3},
+		{2, 3, 9},
+		{3, 2, 8},
+		{4, 3, 81},
+	}
+	for _, tt := range tests {
+		h, err := Complete(mkParts(tt.k, tt.size), 1_000_000)
+		if err != nil {
+			t.Fatalf("k=%d size=%d: %v", tt.k, tt.size, err)
+		}
+		if len(h.Edges) != tt.want {
+			t.Errorf("k=%d size=%d: %d edges, want %d", tt.k, tt.size, len(h.Edges), tt.want)
+		}
+		if err := h.Validate(); err != nil {
+			t.Errorf("validate: %v", err)
+		}
+	}
+}
+
+func TestCompleteLimit(t *testing.T) {
+	if _, err := Complete(mkParts(4, 100), 1000); err == nil {
+		t.Error("100^4 edges should exceed the limit")
+	}
+}
+
+func TestValidateCatchesBadEdges(t *testing.T) {
+	h := &Partite{
+		Parts: mkParts(2, 2), // parts {0,1}, {2,3}
+		Edges: []Edge{{0, 2}},
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("good graph rejected: %v", err)
+	}
+	h.Edges = append(h.Edges, Edge{0, 1}) // 1 is in part 0, not part 1
+	if err := h.Validate(); err == nil {
+		t.Error("edge with wrong-part vertex accepted")
+	}
+	bad := &Partite{Parts: [][]Vertex{{0, 1}, {1, 2}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("overlapping parts accepted")
+	}
+}
+
+func TestSigmaPi(t *testing.T) {
+	h := &Partite{
+		Parts: mkParts(2, 2), // {0,1}, {2,3}
+		Edges: []Edge{{0, 2}, {0, 3}, {1, 2}},
+	}
+	if got := Sigma(h.Edges, 0, 0); len(got) != 2 {
+		t.Errorf("σ_0 = %v, want 2 edges", got)
+	}
+	if got := Pi(h.Edges, 0, 0); len(got) != 2 {
+		t.Errorf("π_0 = %v, want 2 projections", got)
+	}
+	if got := Pi(h.Edges, 1, 2); len(got) != 2 {
+		t.Errorf("π_2 (part 1) = %v, want 2 projections", got)
+	}
+	if got := Pi(h.Edges, 0, 1); len(got) != 1 || got[0][0] != 2 {
+		t.Errorf("π_1 = %v, want [(2)]", got)
+	}
+}
+
+func TestPiDeduplicates(t *testing.T) {
+	// Duplicate edges collapse under π (it is a set of projected tuples).
+	edges := []Edge{{0, 2}, {0, 2}}
+	if got := Pi(edges, 0, 0); len(got) != 1 {
+		t.Errorf("π over duplicates = %v, want 1", got)
+	}
+}
+
+func TestLemma4OnCompleteGraph(t *testing.T) {
+	// Complete 3-partite graph: every vertex's projections cover everything,
+	// so a singleton satisfies case (a).
+	h, err := Complete(mkParts(3, 5), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Lemma4(h.Edges, 0, h.Parts[0], 5, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyLemma4(h.Edges, 0, res, 5, 0.0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLemma4RandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		k := 2 + rng.Intn(3)
+		size := 3 + rng.Intn(8)
+		parts := mkParts(k, size)
+		// Random edge set (dense enough to be interesting, capped by the
+		// number of distinct edges).
+		total := 1
+		for i := 0; i < k; i++ {
+			total *= size
+		}
+		nEdges := 1 + rng.Intn(4*size*size)
+		if nEdges > total {
+			nEdges = total
+		}
+		seen := make(map[string]bool)
+		var edges []Edge
+		for len(edges) < nEdges {
+			e := make(Edge, k)
+			for i := range e {
+				e[i] = parts[i][rng.Intn(size)]
+			}
+			if !seen[e.key(-1)] {
+				seen[e.key(-1)] = true
+				edges = append(edges, e)
+			}
+		}
+		s := float64(size) / 1.2
+		eps := 0.2
+		res, err := Lemma4(edges, 0, parts[0], s, eps)
+		if err != nil {
+			t.Fatalf("trial %d (k=%d size=%d |E|=%d): %v", trial, k, size, len(edges), err)
+		}
+		if err := VerifyLemma4(edges, 0, res, s, eps); err != nil {
+			t.Fatalf("trial %d: certificate invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestLemma4PreconditionErrors(t *testing.T) {
+	h, err := Complete(mkParts(2, 4), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lemma4(nil, 0, h.Parts[0], 2, 0.2); err == nil {
+		t.Error("empty edges accepted")
+	}
+	if _, err := Lemma4(h.Edges, 0, h.Parts[0], 2, 0.2); err == nil {
+		t.Error("part larger than s(1+ε) accepted")
+	}
+	if _, err := Lemma4(h.Edges, 0, h.Parts[0], 4, 0.7); err == nil {
+		t.Error("eps >= 1/2 accepted")
+	}
+	if _, err := Lemma4(h.Edges, 0, h.Parts[0], -1, 0.2); err == nil {
+		t.Error("negative s accepted")
+	}
+}
+
+func TestLemma5OnCompleteGraphs(t *testing.T) {
+	for _, tc := range []struct {
+		k, size int
+	}{
+		{2, 4}, {3, 4}, {4, 4}, {3, 6}, {2, 10},
+	} {
+		parts := mkParts(tc.k, tc.size)
+		h, err := Complete(parts, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := float64(tc.size) / 1.2
+		res, err := Lemma5(h, s, 0.2)
+		if err != nil {
+			t.Fatalf("k=%d size=%d: %v", tc.k, tc.size, err)
+		}
+		if err := VerifyLemma5(h, res, s, 0.2); err != nil {
+			t.Fatalf("k=%d size=%d: %v", tc.k, tc.size, err)
+		}
+	}
+}
+
+func TestLemma5RandomSubsets(t *testing.T) {
+	// Random subsets of the complete graph with |E| >= s^k.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		k := 2 + rng.Intn(3)
+		size := 4 + rng.Intn(5)
+		parts := mkParts(k, size)
+		full, err := Complete(parts, 2_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := float64(size) / 1.2
+		eps := 0.25
+		minEdges := int(pow(s, k)) + 1
+		// Keep a random subset of at least minEdges edges.
+		perm := rng.Perm(len(full.Edges))
+		keep := minEdges + rng.Intn(len(full.Edges)-minEdges+1)
+		sub := &Partite{Parts: parts, Edges: make([]Edge, 0, keep)}
+		for _, idx := range perm[:keep] {
+			sub.Edges = append(sub.Edges, full.Edges[idx])
+		}
+		res, err := Lemma5(sub, s, eps)
+		if err != nil {
+			t.Fatalf("trial %d (k=%d size=%d |E|=%d s=%v): %v", trial, k, size, keep, s, err)
+		}
+		if err := VerifyLemma5(sub, res, s, eps); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestLemma5PreconditionErrors(t *testing.T) {
+	parts := mkParts(3, 4)
+	h, err := Complete(parts, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s too large for the parts.
+	if _, err := Lemma5(h, 10, 0.2); err == nil {
+		t.Error("s^k > |E| accepted")
+	}
+	// Part exceeds s(1+eps).
+	if _, err := Lemma5(h, 2, 0.2); err == nil {
+		t.Error("part size above s(1+ε) accepted")
+	}
+	if _, err := Lemma5(&Partite{}, 1, 0.2); err == nil {
+		t.Error("0-partite graph accepted")
+	}
+}
+
+func TestEdgeString(t *testing.T) {
+	e := Edge{1, 2, 3}
+	if got := e.String(); got != "(1,2,3)" {
+		t.Errorf("String = %q", got)
+	}
+	if e.key(1) == e.key(-1) {
+		t.Error("keys with and without skip should differ")
+	}
+	c := e.Clone()
+	c[0] = 9
+	if e[0] == 9 {
+		t.Error("Clone aliases the edge")
+	}
+}
+
+func ExampleLemma5() {
+	parts := mkParts(3, 4)
+	h, _ := Complete(parts, 10000)
+	res, _ := Lemma5(h, float64(4)/1.2, 0.2)
+	fmt.Println(len(res.F) > 0, res.D >= 0)
+	// Output: true true
+}

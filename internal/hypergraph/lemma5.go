@@ -1,0 +1,198 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lemma5Result is the certificate of Lemma 5: a hyperedge subset F of the
+// input and a distinguished part index D such that the vertex support
+// U = ∪ F satisfies |U ∩ X_i| <= 2 for i != D and |U ∩ X_D| >=
+// s(1+ε)(1-2ε).
+type Lemma5Result struct {
+	F []Edge
+	D int
+	// Z records the per-level certificate sets from the recursive
+	// construction (diagnostics; Z[i] is empty for i > D).
+	Z [][]Vertex
+}
+
+// Support returns U ∩ X_i for each part i, ascending.
+func (r *Lemma5Result) Support(k int) [][]Vertex {
+	sets := make([]map[Vertex]bool, k)
+	for i := range sets {
+		sets[i] = make(map[Vertex]bool)
+	}
+	for _, e := range r.F {
+		for i, v := range e {
+			sets[i][v] = true
+		}
+	}
+	out := make([][]Vertex, k)
+	for i, set := range sets {
+		for v := range set {
+			out[i] = append(out[i], v)
+		}
+		sort.Slice(out[i], func(a, b int) bool { return out[i][a] < out[i][b] })
+	}
+	return out
+}
+
+// Lemma5 executes the constructive proof of Lemma 5: it iterates Lemma 4
+// over the parts, shrinking the edge set by projection in case (a) and
+// stopping at the distinguished part in case (b), then reconstructs the
+// hyperedge family F from the per-level certificates.
+//
+// Preconditions: every part has size <= s(1+ε), |E| >= s^k, s > 0,
+// 0 <= ε < 1/2.
+func Lemma5(h *Partite, s, eps float64) (*Lemma5Result, error) {
+	k := h.K()
+	if k == 0 {
+		return nil, fmt.Errorf("hypergraph: lemma 5 on 0-partite hypergraph")
+	}
+	for i, part := range h.Parts {
+		if float64(len(part)) > s*(1+eps)+1e-9 {
+			return nil, fmt.Errorf("hypergraph: part %d size %d exceeds s(1+ε) = %v", i, len(part), s*(1+eps))
+		}
+	}
+	if sk := pow(s, k); float64(len(h.Edges)) < sk-1e-6 {
+		return nil, fmt.Errorf("hypergraph: |E| = %d below s^k = %v", len(h.Edges), sk)
+	}
+
+	// Recursive phase: cur holds edges over parts level..k-1 (coordinate 0
+	// of cur corresponds to part `level`).
+	cur := h.Edges
+	zs := make([][]Vertex, k)
+	d := -1
+	var eStar Edge // tuple over parts d+1..k-1
+
+	for level := 0; level < k; level++ {
+		if level == k-1 {
+			// Last part: Z_k = all vertices of the remaining 1-partite edges.
+			seen := make(map[Vertex]bool)
+			for _, e := range cur {
+				seen[e[0]] = true
+			}
+			for v := range seen {
+				zs[level] = append(zs[level], v)
+			}
+			sort.Slice(zs[level], func(a, b int) bool { return zs[level][a] < zs[level][b] })
+			d = level
+			eStar = Edge{}
+			break
+		}
+		res, err := Lemma4(cur, 0, h.Parts[level], s, eps)
+		if err != nil {
+			return nil, fmt.Errorf("level %d: %w", level, err)
+		}
+		zs[level] = res.Z
+		if !res.CaseA {
+			d = level
+			eStar = res.Common
+			break
+		}
+		// Case (a): E_level = ∪_{z∈Z} π_z(cur).
+		next := projectUnion(cur, res.Z)
+		cur = next
+	}
+
+	// Reconstruction: F = edges of the original hypergraph whose coordinate
+	// j lies in Z_j for j <= d and matches e* for j > d.
+	zSets := make([]map[Vertex]bool, d+1)
+	for j := 0; j <= d; j++ {
+		zSets[j] = make(map[Vertex]bool, len(zs[j]))
+		for _, v := range zs[j] {
+			zSets[j][v] = true
+		}
+	}
+	var f []Edge
+	for _, e := range h.Edges {
+		ok := true
+		for j := 0; j <= d; j++ {
+			if !zSets[j][e[j]] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for j := d + 1; j < k; j++ {
+			if e[j] != eStar[j-d-1] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			f = append(f, e)
+		}
+	}
+	if len(f) == 0 {
+		return nil, fmt.Errorf("hypergraph: lemma 5 reconstruction produced empty F (d=%d)", d)
+	}
+	res := &Lemma5Result{F: f, D: d, Z: zs}
+	if err := VerifyLemma5(h, res, s, eps); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// projectUnion computes ∪_{z∈Z} π_z(edges) for coordinate 0, deduplicated.
+func projectUnion(edges []Edge, z []Vertex) []Edge {
+	zset := make(map[Vertex]bool, len(z))
+	for _, v := range z {
+		zset[v] = true
+	}
+	seen := make(map[string]bool)
+	var out []Edge
+	for _, e := range edges {
+		if !zset[e[0]] {
+			continue
+		}
+		k := e.key(0)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, e[1:].Clone())
+	}
+	return out
+}
+
+// VerifyLemma5 checks a Lemma 5 certificate against the lemma's statement:
+// F ⊆ E, and the support U satisfies (a) and (b).
+func VerifyLemma5(h *Partite, res *Lemma5Result, s, eps float64) error {
+	if len(res.F) == 0 {
+		return fmt.Errorf("hypergraph: empty F")
+	}
+	inE := make(map[string]bool, len(h.Edges))
+	for _, e := range h.Edges {
+		inE[e.key(-1)] = true
+	}
+	for _, e := range res.F {
+		if !inE[e.key(-1)] {
+			return fmt.Errorf("hypergraph: F edge %v not in E", e)
+		}
+	}
+	support := res.Support(h.K())
+	for i, u := range support {
+		if i == res.D {
+			if low := s * (1 + eps) * (1 - 2*eps); float64(len(u)) < low-1e-9 {
+				return fmt.Errorf("hypergraph: |U ∩ X_%d| = %d below s(1+ε)(1-2ε) = %v", i, len(u), low)
+			}
+			continue
+		}
+		if len(u) > 2 {
+			return fmt.Errorf("hypergraph: |U ∩ X_%d| = %d > 2 (d = %d)", i, len(u), res.D)
+		}
+	}
+	return nil
+}
+
+func pow(s float64, k int) float64 {
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r *= s
+	}
+	return r
+}

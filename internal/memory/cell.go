@@ -1,0 +1,73 @@
+package memory
+
+import "rme/internal/word"
+
+// Shared is the owner value for cells that belong to no process's DSM
+// segment; every access to a Shared cell is remote in the DSM model.
+const Shared = -1
+
+// Cell is an opaque handle to one shared-memory base object. All access goes
+// through an Env so the runtime can account RMRs and schedule steps.
+type Cell interface {
+	// CellID returns the runtime-unique index of the cell.
+	CellID() int
+	// Owner returns the DSM segment owner (a process id), or Shared.
+	Owner() int
+	// Label returns the human-readable name used in traces.
+	Label() string
+}
+
+// Allocator creates cells. Algorithms allocate all their cells up front in
+// their constructor, before any process takes steps, mirroring the paper's
+// static set R of shared objects.
+type Allocator interface {
+	// Width returns the word size w in bits of every allocated cell.
+	Width() word.Width
+	// NewCell allocates a cell with the given trace label, DSM segment owner
+	// (a process id, or Shared) and initial value, which must fit in w bits.
+	NewCell(label string, owner int, init word.Word) Cell
+}
+
+// Env is a single process's view of shared memory: every method is one
+// atomic step on one cell. Under the simulator each call blocks until the
+// scheduler grants the step (and may instead deliver a crash); under the
+// native runtime each call maps directly to sync/atomic.
+type Env interface {
+	// ID returns the calling process's id in [0, n).
+	ID() int
+	// Width returns the word size of the machine.
+	Width() word.Width
+
+	// Read returns the current value of the cell.
+	Read(c Cell) word.Word
+	// Write stores v into the cell.
+	Write(c Cell, v word.Word)
+	// Swap stores v and returns the prior value (fetch-and-store).
+	Swap(c Cell, v word.Word) word.Word
+	// Add adds d mod 2^w and returns the prior value (fetch-and-add).
+	Add(c Cell, d word.Word) word.Word
+	// CAS installs replacement if the cell holds expected; it returns the
+	// prior value, so it succeeded iff the result equals expected.
+	CAS(c Cell, expected, replacement word.Word) word.Word
+	// Apply executes an arbitrary operation (including Custom transitions).
+	Apply(c Cell, op Op) word.Word
+
+	// SpinUntil busy-waits until pred holds for the cell's value and returns
+	// that value. The simulator charges RMRs per the local-spin rules of the
+	// configured model and parks the process between changes; the native
+	// runtime spins with runtime.Gosched.
+	SpinUntil(c Cell, pred func(word.Word) bool) word.Word
+
+	// SpinUntilMulti busy-waits until pred holds for the values of all the
+	// given cells at once, and returns those values. It models a CC process
+	// spinning locally on several cached locations; see the simulator's
+	// documentation for the exact RMR accounting.
+	SpinUntilMulti(cells []Cell, pred func([]word.Word) bool) []word.Word
+}
+
+// TAS performs test-and-set via swap; it returns true if the caller acquired
+// the bit (prior value was 0).
+func TAS(env Env, c Cell) bool { return env.Swap(c, 1) == 0 }
+
+// FAI performs fetch-and-increment.
+func FAI(env Env, c Cell) word.Word { return env.Add(c, 1) }

@@ -1,0 +1,180 @@
+package memory
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rme/internal/word"
+)
+
+// NativeMem is the real-hardware runtime: cells are sync/atomic words, and
+// Env operations execute immediately on the calling goroutine. It exists so
+// the same algorithm sources that run under the simulator can be benchmarked
+// with testing.B for wall-clock throughput. RMRs are not (and cannot be)
+// observed here; crashes are not injectable.
+type NativeMem struct {
+	width word.Width
+	mu    sync.Mutex // guards cells during allocation
+	cells []*nativeCell
+}
+
+var _ Allocator = (*NativeMem)(nil)
+
+// NewNativeMem returns a native allocator with the given word width.
+func NewNativeMem(w word.Width) (*NativeMem, error) {
+	if !w.Valid() {
+		return nil, fmt.Errorf("memory: invalid word width %d", w)
+	}
+	return &NativeMem{width: w}, nil
+}
+
+// Width returns the configured word size.
+func (m *NativeMem) Width() word.Width { return m.width }
+
+// NewCell allocates a native atomic cell.
+func (m *NativeMem) NewCell(label string, owner int, init word.Word) Cell {
+	if !m.width.Fits(init) {
+		panic(fmt.Sprintf("memory: initial value %d does not fit in %d bits", init, m.width))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &nativeCell{id: len(m.cells), owner: owner, label: label}
+	c.v.Store(init)
+	m.cells = append(m.cells, c)
+	return c
+}
+
+// Env returns the native environment for process id.
+func (m *NativeMem) Env(id int) Env { return &nativeEnv{id: id, mem: m} }
+
+type nativeCell struct {
+	id    int
+	owner int
+	label string
+	v     atomic.Uint64
+}
+
+var _ Cell = (*nativeCell)(nil)
+
+func (c *nativeCell) CellID() int   { return c.id }
+func (c *nativeCell) Owner() int    { return c.owner }
+func (c *nativeCell) Label() string { return c.label }
+
+type nativeEnv struct {
+	id  int
+	mem *NativeMem
+}
+
+var _ Env = (*nativeEnv)(nil)
+
+func (e *nativeEnv) ID() int           { return e.id }
+func (e *nativeEnv) Width() word.Width { return e.mem.width }
+
+func (e *nativeEnv) cell(c Cell) *nativeCell {
+	nc, ok := c.(*nativeCell)
+	if !ok {
+		panic(fmt.Sprintf("memory: cell %q does not belong to this native runtime", c.Label()))
+	}
+	return nc
+}
+
+func (e *nativeEnv) Read(c Cell) word.Word { return e.cell(c).v.Load() }
+
+func (e *nativeEnv) Write(c Cell, v word.Word) {
+	e.cell(c).v.Store(e.mem.width.Trunc(v))
+}
+
+func (e *nativeEnv) Swap(c Cell, v word.Word) word.Word {
+	return e.cell(c).v.Swap(e.mem.width.Trunc(v))
+}
+
+func (e *nativeEnv) Add(c Cell, d word.Word) word.Word {
+	nc := e.cell(c)
+	w := e.mem.width
+	if w == word.MaxBits {
+		return nc.v.Add(d) - d
+	}
+	for {
+		cur := nc.v.Load()
+		if nc.v.CompareAndSwap(cur, w.Add(cur, d)) {
+			return cur
+		}
+	}
+}
+
+func (e *nativeEnv) CAS(c Cell, expected, replacement word.Word) word.Word {
+	nc := e.cell(c)
+	w := e.mem.width
+	expected, replacement = w.Trunc(expected), w.Trunc(replacement)
+	for {
+		cur := nc.v.Load()
+		if cur != expected {
+			return cur
+		}
+		if nc.v.CompareAndSwap(expected, replacement) {
+			return expected
+		}
+	}
+}
+
+func (e *nativeEnv) Apply(c Cell, op Op) word.Word {
+	switch op.Code {
+	case OpRead:
+		return e.Read(c)
+	case OpWrite:
+		e.Write(c, op.Arg)
+		return 0
+	case OpSwap:
+		return e.Swap(c, op.Arg)
+	case OpAdd:
+		return e.Add(c, op.Arg)
+	case OpCAS:
+		return e.CAS(c, op.Arg, op.Arg2)
+	case OpCustom:
+		nc := e.cell(c)
+		w := e.mem.width
+		for {
+			cur := nc.v.Load()
+			next, ret := Apply(op, cur, w)
+			if nc.v.CompareAndSwap(cur, next) {
+				return ret
+			}
+		}
+	default:
+		panic(fmt.Sprintf("memory: invalid op code %d", op.Code))
+	}
+}
+
+func (e *nativeEnv) SpinUntil(c Cell, pred func(word.Word) bool) word.Word {
+	nc := e.cell(c)
+	for i := 0; ; i++ {
+		v := nc.v.Load()
+		if pred(v) {
+			return v
+		}
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (e *nativeEnv) SpinUntilMulti(cells []Cell, pred func([]word.Word) bool) []word.Word {
+	ncs := make([]*nativeCell, len(cells))
+	for i, c := range cells {
+		ncs[i] = e.cell(c)
+	}
+	vals := make([]word.Word, len(cells))
+	for i := 0; ; i++ {
+		for j, nc := range ncs {
+			vals[j] = nc.v.Load()
+		}
+		if pred(vals) {
+			return vals
+		}
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package memory
+
+import (
+	"sync"
+	"testing"
+
+	"rme/internal/word"
+)
+
+func TestNativeMemBasicOps(t *testing.T) {
+	m, err := NewNativeMem(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.NewCell("c", Shared, 5)
+	env := m.Env(0)
+
+	if got := env.Read(c); got != 5 {
+		t.Errorf("Read = %d, want 5", got)
+	}
+	env.Write(c, 9)
+	if got := env.Read(c); got != 9 {
+		t.Errorf("after Write: %d, want 9", got)
+	}
+	if got := env.Swap(c, 3); got != 9 {
+		t.Errorf("Swap returned %d, want 9", got)
+	}
+	if got := env.Add(c, 250); got != 3 {
+		t.Errorf("Add returned %d, want 3", got)
+	}
+	if got := env.Read(c); got != 253%256 {
+		t.Errorf("after Add: %d, want 253", got)
+	}
+	if got := env.CAS(c, 253, 7); got != 253 {
+		t.Errorf("CAS returned %d, want 253", got)
+	}
+	if got := env.CAS(c, 253, 8); got != 7 {
+		t.Errorf("failed CAS returned %d, want 7", got)
+	}
+}
+
+func TestNativeMemAddWrapsNarrowWidth(t *testing.T) {
+	m, err := NewNativeMem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.NewCell("c", Shared, 15)
+	env := m.Env(0)
+	if got := env.Add(c, 1); got != 15 {
+		t.Errorf("Add returned %d, want 15", got)
+	}
+	if got := env.Read(c); got != 0 {
+		t.Errorf("4-bit add did not wrap: %d", got)
+	}
+}
+
+func TestNativeMemApplyCustom(t *testing.T) {
+	m, err := NewNativeMem(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.NewCell("c", Shared, 10)
+	env := m.Env(0)
+	setMax := Custom("max", func(cur word.Word) (word.Word, word.Word) {
+		if cur < 42 {
+			return 42, cur
+		}
+		return cur, cur
+	})
+	if got := env.Apply(c, setMax); got != 10 {
+		t.Errorf("Apply ret = %d, want 10", got)
+	}
+	if got := env.Read(c); got != 42 {
+		t.Errorf("custom op result = %d, want 42", got)
+	}
+}
+
+func TestNativeMemInvalidWidth(t *testing.T) {
+	if _, err := NewNativeMem(0); err == nil {
+		t.Error("width 0: want error")
+	}
+	if _, err := NewNativeMem(65); err == nil {
+		t.Error("width 65: want error")
+	}
+}
+
+func TestNativeMemCellMetadata(t *testing.T) {
+	m, err := NewNativeMem(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.NewCell("a", 3, 0)
+	b := m.NewCell("b", Shared, 0)
+	if a.CellID() == b.CellID() {
+		t.Error("cell ids collide")
+	}
+	if a.Owner() != 3 || b.Owner() != Shared {
+		t.Errorf("owners: %d, %d", a.Owner(), b.Owner())
+	}
+	if a.Label() != "a" {
+		t.Errorf("label: %q", a.Label())
+	}
+}
+
+func TestNativeMemConcurrentFAA(t *testing.T) {
+	// n goroutines each add 1 k times; the counter must equal n*k and every
+	// fetch-and-add return value must be unique (atomicity witness).
+	m, err := NewNativeMem(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.NewCell("ctr", Shared, 0)
+	const (
+		n = 8
+		k = 1000
+	)
+	seen := make([]map[word.Word]bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		seen[i] = make(map[word.Word]bool, k)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			env := m.Env(i)
+			for j := 0; j < k; j++ {
+				seen[i][env.Add(c, 1)] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Env(0).Read(c); got != n*k {
+		t.Fatalf("counter = %d, want %d", got, n*k)
+	}
+	all := make(map[word.Word]bool, n*k)
+	for i := 0; i < n; i++ {
+		for v := range seen[i] {
+			if all[v] {
+				t.Fatalf("duplicate FAA return %d", v)
+			}
+			all[v] = true
+		}
+	}
+	if len(all) != n*k {
+		t.Fatalf("distinct returns = %d, want %d", len(all), n*k)
+	}
+}
+
+func TestNativeMemConcurrentNarrowCAS(t *testing.T) {
+	// Narrow-width Add uses a CAS loop; hammer it concurrently.
+	m, err := NewNativeMem(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.NewCell("ctr", Shared, 0)
+	const (
+		n = 4
+		k = 4096 // n*k = 16384 = 4 * 2^12, so the counter wraps to 0
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			env := m.Env(i)
+			for j := 0; j < k; j++ {
+				env.Add(c, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Env(0).Read(c); got != 0 {
+		t.Fatalf("12-bit counter after %d increments = %d, want 0", n*k, got)
+	}
+}
+
+func TestTASHelper(t *testing.T) {
+	m, err := NewNativeMem(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.NewCell("lock", Shared, 0)
+	env := m.Env(0)
+	if !TAS(env, c) {
+		t.Error("first TAS should acquire")
+	}
+	if TAS(env, c) {
+		t.Error("second TAS should fail")
+	}
+}
+
+func TestFAIHelper(t *testing.T) {
+	m, err := NewNativeMem(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.NewCell("ctr", Shared, 0)
+	env := m.Env(0)
+	if got := FAI(env, c); got != 0 {
+		t.Errorf("FAI = %d, want 0", got)
+	}
+	if got := FAI(env, c); got != 1 {
+		t.Errorf("FAI = %d, want 1", got)
+	}
+}
+
+func TestNativeSpinUntil(t *testing.T) {
+	m, err := NewNativeMem(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.NewCell("flag", Shared, 0)
+	done := make(chan word.Word, 1)
+	go func() {
+		env := m.Env(1)
+		done <- env.SpinUntil(c, func(v word.Word) bool { return v == 7 })
+	}()
+	m.Env(0).Write(c, 7)
+	if got := <-done; got != 7 {
+		t.Errorf("SpinUntil = %d, want 7", got)
+	}
+}

@@ -1,0 +1,154 @@
+// Package memory defines the shared-memory operation model of the paper:
+// base objects (cells) storing w-bit values that support atomic operations,
+// each operation touching exactly one cell.
+//
+// Two runtimes implement these interfaces:
+//
+//   - the deterministic simulator (package sim), which accounts remote memory
+//     references (RMRs) under the CC and DSM models and supports crash steps
+//     and adversarial scheduling; and
+//   - the native runtime in this package, which maps cells onto sync/atomic
+//     words for real-hardware throughput benchmarks.
+//
+// Algorithms are written once against Env/Allocator and run under both.
+package memory
+
+import (
+	"fmt"
+
+	"rme/internal/word"
+)
+
+// OpCode identifies an atomic operation type.
+type OpCode int
+
+// Supported operation codes. OpCustom covers the paper's "arbitrary atomic
+// operations": any deterministic function of the cell's current value.
+const (
+	OpRead OpCode = iota + 1
+	OpWrite
+	OpSwap // fetch-and-store
+	OpAdd  // fetch-and-add (mod 2^w)
+	OpCAS  // compare-and-swap
+	OpCustom
+)
+
+// String returns the conventional name of the operation.
+func (c OpCode) String() string {
+	switch c {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpSwap:
+		return "FAS"
+	case OpAdd:
+		return "FAA"
+	case OpCAS:
+		return "CAS"
+	case OpCustom:
+		return "custom"
+	default:
+		return fmt.Sprintf("op(%d)", int(c))
+	}
+}
+
+// Transition is the semantics of a custom atomic operation: given the current
+// cell value it returns the new cell value and the value returned to the
+// caller. Transitions must be deterministic and side-effect free, or replay
+// (and hence the lower-bound adversary) breaks.
+type Transition func(cur word.Word) (next, ret word.Word)
+
+// Op is a single atomic operation on a single cell.
+type Op struct {
+	Code OpCode
+	Arg  word.Word // write/swap value, add delta, CAS expected
+	Arg2 word.Word // CAS replacement
+	F    Transition
+	// Name labels custom ops in traces.
+	Name string
+}
+
+// IsRead reports whether the operation never changes the cell. Reads are the
+// only operations that can avoid an RMR in the CC model.
+func (op Op) IsRead() bool { return op.Code == OpRead }
+
+// String renders the op for traces.
+func (op Op) String() string {
+	switch op.Code {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return fmt.Sprintf("write(%d)", op.Arg)
+	case OpSwap:
+		return fmt.Sprintf("FAS(%d)", op.Arg)
+	case OpAdd:
+		return fmt.Sprintf("FAA(%d)", op.Arg)
+	case OpCAS:
+		return fmt.Sprintf("CAS(%d,%d)", op.Arg, op.Arg2)
+	case OpCustom:
+		if op.Name != "" {
+			return op.Name
+		}
+		return "custom"
+	default:
+		return op.Code.String()
+	}
+}
+
+// Apply executes the operation against the current value of a w-bit cell and
+// returns the new cell value and the value handed back to the caller. This is
+// the single source of truth for operation semantics; both runtimes use it.
+//
+// Return conventions:
+//
+//	read       -> ret = cur
+//	write(v)   -> ret = 0
+//	FAS(v)     -> ret = cur
+//	FAA(d)     -> ret = cur, next = (cur+d) mod 2^w
+//	CAS(e, v)  -> ret = cur, next = v if cur == e else cur
+//	custom f   -> next, ret = f(cur)
+func Apply(op Op, cur word.Word, w word.Width) (next, ret word.Word) {
+	cur = w.Trunc(cur)
+	switch op.Code {
+	case OpRead:
+		return cur, cur
+	case OpWrite:
+		return w.Trunc(op.Arg), 0
+	case OpSwap:
+		return w.Trunc(op.Arg), cur
+	case OpAdd:
+		return w.Add(cur, op.Arg), cur
+	case OpCAS:
+		if cur == w.Trunc(op.Arg) {
+			return w.Trunc(op.Arg2), cur
+		}
+		return cur, cur
+	case OpCustom:
+		next, ret = op.F(cur)
+		return w.Trunc(next), ret
+	default:
+		panic(fmt.Sprintf("memory: invalid op code %d", op.Code))
+	}
+}
+
+// Read returns a read operation.
+func Read() Op { return Op{Code: OpRead} }
+
+// Write returns a write operation storing v.
+func Write(v word.Word) Op { return Op{Code: OpWrite, Arg: v} }
+
+// Swap returns a fetch-and-store operation storing v.
+func Swap(v word.Word) Op { return Op{Code: OpSwap, Arg: v} }
+
+// Add returns a fetch-and-add operation adding d mod 2^w.
+func Add(d word.Word) Op { return Op{Code: OpAdd, Arg: d} }
+
+// CAS returns a compare-and-swap operation replacing expected with
+// replacement; it "succeeds" when the returned prior value equals expected.
+func CAS(expected, replacement word.Word) Op {
+	return Op{Code: OpCAS, Arg: expected, Arg2: replacement}
+}
+
+// Custom wraps an arbitrary deterministic transition as an atomic operation.
+func Custom(name string, f Transition) Op { return Op{Code: OpCustom, F: f, Name: name} }

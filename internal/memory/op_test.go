@@ -1,0 +1,114 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rme/internal/word"
+)
+
+func TestApplySemantics(t *testing.T) {
+	const w = word.Width(8)
+	tests := []struct {
+		name     string
+		op       Op
+		cur      word.Word
+		wantNext word.Word
+		wantRet  word.Word
+	}{
+		{name: "read", op: Read(), cur: 42, wantNext: 42, wantRet: 42},
+		{name: "write", op: Write(7), cur: 42, wantNext: 7, wantRet: 0},
+		{name: "write truncates", op: Write(0x1ff), cur: 0, wantNext: 0xff, wantRet: 0},
+		{name: "swap", op: Swap(7), cur: 42, wantNext: 7, wantRet: 42},
+		{name: "add", op: Add(5), cur: 42, wantNext: 47, wantRet: 42},
+		{name: "add wraps", op: Add(20), cur: 250, wantNext: 14, wantRet: 250},
+		{name: "cas success", op: CAS(42, 9), cur: 42, wantNext: 9, wantRet: 42},
+		{name: "cas failure", op: CAS(41, 9), cur: 42, wantNext: 42, wantRet: 42},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			next, ret := Apply(tt.op, tt.cur, w)
+			if next != tt.wantNext || ret != tt.wantRet {
+				t.Errorf("Apply(%v, %d) = (%d, %d), want (%d, %d)",
+					tt.op, tt.cur, next, ret, tt.wantNext, tt.wantRet)
+			}
+		})
+	}
+}
+
+func TestApplyCustom(t *testing.T) {
+	const w = word.Width(4)
+	double := Custom("double", func(cur word.Word) (word.Word, word.Word) {
+		return cur * 2, cur
+	})
+	next, ret := Apply(double, 9, w)
+	if next != 2 || ret != 9 { // 18 mod 16 = 2
+		t.Errorf("custom double: got (%d, %d), want (2, 9)", next, ret)
+	}
+}
+
+func TestApplyStaysInDomain(t *testing.T) {
+	for _, w := range []word.Width{1, 4, 8, 32, 64} {
+		w := w
+		f := func(cur, a, b word.Word, code uint8) bool {
+			var op Op
+			switch code % 5 {
+			case 0:
+				op = Read()
+			case 1:
+				op = Write(a)
+			case 2:
+				op = Swap(a)
+			case 3:
+				op = Add(a)
+			case 4:
+				op = CAS(a, b)
+			}
+			next, _ := Apply(op, cur, w)
+			return w.Fits(next)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("width %d: %v", w, err)
+		}
+	}
+}
+
+func TestApplyReadNeverMutates(t *testing.T) {
+	f := func(cur word.Word) bool {
+		next, ret := Apply(Read(), cur, 64)
+		return next == cur && ret == cur
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	tests := []struct {
+		give Op
+		want string
+	}{
+		{Read(), "read"},
+		{Write(3), "write(3)"},
+		{Swap(4), "FAS(4)"},
+		{Add(5), "FAA(5)"},
+		{CAS(1, 2), "CAS(1,2)"},
+		{Custom("frob", func(c word.Word) (word.Word, word.Word) { return c, c }), "frob"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("(%#v).String() = %q, want %q", tt.give.Code, got, tt.want)
+		}
+	}
+}
+
+func TestIsRead(t *testing.T) {
+	if !Read().IsRead() {
+		t.Error("Read().IsRead() = false")
+	}
+	for _, op := range []Op{Write(1), Swap(1), Add(1), CAS(0, 1)} {
+		if op.IsRead() {
+			t.Errorf("%v.IsRead() = true", op)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package mutex defines the recoverable mutual exclusion (RME) framework of
+// the paper: algorithms expose entry, exit, and recover protocols; processes
+// execute super-passages (entry → critical section → exit) that crashes may
+// split into multiple passages; and the driver measures RMRs per passage
+// while monitoring mutual exclusion and progress.
+package mutex
+
+import (
+	"fmt"
+
+	"rme/internal/memory"
+)
+
+// Phase tags published by driver bodies via Proc.SetTag so controllers (and
+// the monitors) can observe protocol position between steps.
+const (
+	TagRemainder = iota
+	TagEntry
+	TagCS
+	TagExit
+	TagRecover
+)
+
+// TagName returns a human-readable phase name.
+func TagName(tag int) string {
+	switch tag {
+	case TagRemainder:
+		return "remainder"
+	case TagEntry:
+		return "entry"
+	case TagCS:
+		return "CS"
+	case TagExit:
+		return "exit"
+	case TagRecover:
+		return "recover"
+	default:
+		return fmt.Sprintf("tag(%d)", tag)
+	}
+}
+
+// Algorithm is a mutual exclusion algorithm family: Make instantiates its
+// shared objects for n processes on a particular machine.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Recoverable reports whether the algorithm tolerates crash steps.
+	// Drivers never deliver crashes to non-recoverable algorithms.
+	Recoverable() bool
+	// Make allocates all shared objects for n processes. It runs before any
+	// process takes steps (the paper's static object set R).
+	Make(mem memory.Allocator, n int) (Instance, error)
+}
+
+// Instance is an algorithm instantiated on one machine.
+type Instance interface {
+	// Bind returns the handle for the process behind env. It is called on
+	// the process's own goroutine before the process takes any steps, and
+	// must not perform shared-memory operations.
+	Bind(env memory.Env) Handle
+}
+
+// Handle is one process's interface to the lock.
+//
+// Crash contract: a crash may preempt any shared-memory step. After a crash
+// every local variable of the in-flight call is lost; only shared cells
+// persist. Handle implementations must therefore keep all state that must
+// survive crashes in cells, and may keep in struct fields only immutable
+// configuration (cell references, ids) established at Bind time.
+type Handle interface {
+	// Lock runs the entry protocol; it returns holding the critical section.
+	Lock()
+	// Unlock runs the exit protocol, ending the super-passage.
+	Unlock()
+	// Recover runs the recover protocol after a crash and resumes the
+	// interrupted super-passage: if the process was anywhere between the
+	// start of entry and the end of the critical section, Recover completes
+	// the entry protocol and returns RecoverAcquired (the caller then runs
+	// the CS and calls Unlock); if the process crashed during exit, Recover
+	// completes the exit and returns RecoverReleased; if no super-passage
+	// was in progress, it returns RecoverIdle.
+	Recover() RecoverStatus
+}
+
+// RecoverStatus reports where Recover left the process.
+type RecoverStatus int
+
+// Recover outcomes.
+const (
+	// RecoverAcquired: the process now holds the critical section.
+	RecoverAcquired RecoverStatus = iota + 1
+	// RecoverReleased: the interrupted super-passage is complete.
+	RecoverReleased
+	// RecoverIdle: no super-passage was in progress at the crash.
+	RecoverIdle
+)
+
+// String returns the status name.
+func (s RecoverStatus) String() string {
+	switch s {
+	case RecoverAcquired:
+		return "acquired"
+	case RecoverReleased:
+		return "released"
+	case RecoverIdle:
+		return "idle"
+	default:
+		return fmt.Sprintf("RecoverStatus(%d)", int(s))
+	}
+}
+
+// Unrecoverable is a Handle mix-in for conventional (crash-free) algorithms;
+// its Recover panics, and drivers guarantee it is never reached because
+// crashes are only delivered to algorithms with Recoverable() == true.
+type Unrecoverable struct{}
+
+// Recover panics: the algorithm does not support crash recovery.
+func (Unrecoverable) Recover() RecoverStatus {
+	panic("mutex: crash delivered to a non-recoverable algorithm")
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"rme/internal/memory"
+	"rme/internal/word"
+)
+
+// EventKind classifies trace entries.
+type EventKind int
+
+// Trace entry kinds.
+const (
+	// EvStep is a shared-memory operation by a process.
+	EvStep EventKind = iota + 1
+	// EvCrash is a crash step: the process's local state is discarded and its
+	// recover protocol starts.
+	EvCrash
+	// EvMark is an annotation emitted by a process body (e.g. passage
+	// boundaries); it is not a step and does not appear in schedules.
+	EvMark
+	// EvWake records a multi-cell spin recheck (SpinUntilMulti) triggered by
+	// another process touching a watched cell. It is not a step, but it may
+	// carry an RMR charge: in CC the touch invalidated the spinner's cache
+	// copy, so the recheck is a miss.
+	EvWake
+)
+
+// Event is one entry of an execution trace. For EvStep events it records the
+// paper's notion of an event: the process, the operation, the object, and
+// whether the operation incurred an RMR (under both models).
+type Event struct {
+	Seq  int
+	Kind EventKind
+	Proc int
+
+	// Step fields.
+	Cell      int
+	CellLabel string
+	Op        memory.Op
+	Before    word.Word
+	After     word.Word
+	Ret       word.Word
+	RMRCC     bool
+	RMRDSM    bool
+	// Spin marks the step as a SpinUntil probe; Parked reports that the
+	// probe failed and the process parked.
+	Spin   bool
+	Parked bool
+
+	// Mark field.
+	Note string
+}
+
+// String renders the event compactly for logs and failure messages.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvCrash:
+		return fmt.Sprintf("#%d p%d CRASH", e.Seq, e.Proc)
+	case EvMark:
+		return fmt.Sprintf("#%d p%d mark(%s)", e.Seq, e.Proc, e.Note)
+	case EvWake:
+		tail := ""
+		if e.RMRCC {
+			tail += " rmr:cc"
+		}
+		if e.RMRDSM {
+			tail += " rmr:dsm"
+		}
+		if e.Parked {
+			tail += " still-parked"
+		}
+		return fmt.Sprintf("#%d p%d recheck %s%s", e.Seq, e.Proc, e.CellLabel, tail)
+	default:
+		var b strings.Builder
+		fmt.Fprintf(&b, "#%d p%d %s %s", e.Seq, e.Proc, e.CellLabel, e.Op)
+		fmt.Fprintf(&b, " [%d->%d ret %d]", e.Before, e.After, e.Ret)
+		if e.RMRCC {
+			b.WriteString(" rmr:cc")
+		}
+		if e.RMRDSM {
+			b.WriteString(" rmr:dsm")
+		}
+		if e.Parked {
+			b.WriteString(" parked")
+		}
+		return b.String()
+	}
+}
+
+// RMR reports whether the step incurred an RMR under the given model.
+func (e Event) RMR(m Model) bool {
+	if m == DSM {
+		return e.RMRDSM
+	}
+	return e.RMRCC
+}
+
+// Action is one entry of a schedule: a step or a crash by a process. A
+// schedule plus the machine construction fully determines an execution.
+type Action struct {
+	Proc  int
+	Crash bool
+}
+
+// String renders p or p̂ (the paper's crash-step notation) as "3" / "3^".
+func (a Action) String() string {
+	if a.Crash {
+		return fmt.Sprintf("%d^", a.Proc)
+	}
+	return fmt.Sprintf("%d", a.Proc)
+}
+
+// Schedule is a finite sequence of actions.
+type Schedule []Action
+
+// String renders the schedule as space-separated actions.
+func (s Schedule) String() string {
+	parts := make([]string, len(s))
+	for i, a := range s {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Restrict returns the sub-schedule containing only actions by processes for
+// which keep returns true. This is the operation that materializes the
+// proof's table columns: the schedule of column S is the maximal schedule
+// restricted to S.
+func (s Schedule) Restrict(keep func(proc int) bool) Schedule {
+	out := make(Schedule, 0, len(s))
+	for _, a := range s {
+		if keep(a.Proc) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Procs returns the set of processes with at least one action in s (the
+// paper's P(σ)).
+func (s Schedule) Procs() map[int]bool {
+	ps := make(map[int]bool)
+	for _, a := range s {
+		ps[a.Proc] = true
+	}
+	return ps
+}
+
+// Clone returns a copy of the schedule.
+func (s Schedule) Clone() Schedule {
+	out := make(Schedule, len(s))
+	copy(out, s)
+	return out
+}

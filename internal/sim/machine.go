@@ -1,0 +1,692 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"rme/internal/memory"
+	"rme/internal/word"
+)
+
+// Config describes a simulated machine.
+type Config struct {
+	// Procs is the number n of processes.
+	Procs int
+	// Width is the word size w in bits of every base object.
+	Width word.Width
+	// Model selects the RMR accounting rule used for scheduling decisions
+	// (WouldRMR, RMRs). Both models' counters are always maintained.
+	Model Model
+	// NoTrace disables trace retention (counters and schedules remain).
+	NoTrace bool
+	// MaxSteps caps the number of actions; 0 means DefaultMaxSteps.
+	MaxSteps int
+}
+
+// DefaultMaxSteps bounds runaway executions (e.g. livelocking algorithms
+// under adversarial schedules) so tests fail instead of hanging.
+const DefaultMaxSteps = 50_000_000
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Procs < 1 {
+		return fmt.Errorf("sim: need at least 1 process, got %d", c.Procs)
+	}
+	if !c.Width.Valid() {
+		return fmt.Errorf("sim: invalid word width %d", c.Width)
+	}
+	if !c.Model.Valid() {
+		return fmt.Errorf("sim: invalid model %d", c.Model)
+	}
+	return nil
+}
+
+// Program is the code a simulated process executes. Run is invoked once at
+// the start; after each crash step, Recover is invoked with all local
+// variables (anything not stored in shared cells) reset — the implementation
+// must not carry mutable state across invocations except through shared
+// memory, mirroring the paper's crash model.
+type Program interface {
+	Run(p *Proc)
+	Recover(p *Proc)
+}
+
+// ProgramFuncs adapts plain functions to Program.
+type ProgramFuncs struct {
+	RunFunc     func(p *Proc)
+	RecoverFunc func(p *Proc)
+}
+
+var _ Program = ProgramFuncs{}
+
+// Run invokes RunFunc.
+func (f ProgramFuncs) Run(p *Proc) { f.RunFunc(p) }
+
+// Recover invokes RecoverFunc; if nil, Run is invoked instead.
+func (f ProgramFuncs) Recover(p *Proc) {
+	if f.RecoverFunc != nil {
+		f.RecoverFunc(p)
+		return
+	}
+	f.RunFunc(p)
+}
+
+// Machine is a deterministic simulated shared-memory multiprocessor. It is a
+// single-controller object: all methods must be called from one goroutine
+// (the controller); process bodies run step-gated so that exactly one body
+// executes at a time.
+type Machine struct {
+	cfg      Config
+	cells    []*simCell
+	procs    []*Proc
+	trace    []Event
+	schedule Schedule
+	seq      int
+	started  bool
+	closed   bool
+}
+
+var _ memory.Allocator = (*Machine)(nil)
+
+// Errors returned by controller methods.
+var (
+	ErrDone       = errors.New("sim: process has finished")
+	ErrNotStarted = errors.New("sim: machine not started")
+	ErrStarted    = errors.New("sim: machine already started")
+	ErrClosed     = errors.New("sim: machine closed")
+	ErrMaxSteps   = errors.New("sim: step limit exceeded")
+)
+
+// New creates a machine. Cells must be allocated (NewCell) before Start.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	return &Machine{cfg: cfg}, nil
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Procs returns the number of processes.
+func (m *Machine) Procs() int { return m.cfg.Procs }
+
+// Model returns the configured accounting model.
+func (m *Machine) Model() Model { return m.cfg.Model }
+
+// Width returns the word size in bits.
+func (m *Machine) Width() word.Width { return m.cfg.Width }
+
+// NewCell allocates a base object. owner is the DSM segment owner (a process
+// id in [0,n) or memory.Shared); init must fit in w bits. NewCell panics on
+// misuse because allocation happens during deterministic single-threaded
+// setup where errors are programming mistakes, not runtime conditions.
+func (m *Machine) NewCell(label string, owner int, init word.Word) memory.Cell {
+	if m.started {
+		panic("sim: NewCell after Start")
+	}
+	if owner != memory.Shared && (owner < 0 || owner >= m.cfg.Procs) {
+		panic(fmt.Sprintf("sim: cell %q owner %d out of range", label, owner))
+	}
+	if !m.cfg.Width.Fits(init) {
+		panic(fmt.Sprintf("sim: cell %q initial value %d exceeds %d bits", label, init, m.cfg.Width))
+	}
+	c := &simCell{
+		m:            m,
+		id:           len(m.cells),
+		owner:        owner,
+		label:        label,
+		init:         init,
+		val:          init,
+		cached:       make([]bool, m.cfg.Procs),
+		accessed:     make([]bool, m.cfg.Procs),
+		lastAccessor: -1,
+		watchers:     make(map[int]struct{}),
+	}
+	m.cells = append(m.cells, c)
+	return c
+}
+
+// Start launches one process per program. Processes are started one at a
+// time and each is run until its first shared-memory step (or completion),
+// so bodies never execute concurrently.
+func (m *Machine) Start(programs []Program) error {
+	if m.started {
+		return ErrStarted
+	}
+	if len(programs) != m.cfg.Procs {
+		return fmt.Errorf("sim: got %d programs for %d processes", len(programs), m.cfg.Procs)
+	}
+	m.started = true
+	m.procs = make([]*Proc, m.cfg.Procs)
+	for i, prog := range programs {
+		p := newProc(m, i, prog)
+		m.procs[i] = p
+		p.launch()
+		if err := m.waitQuiescent(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// waitQuiescent blocks until p has announced its next step or finished.
+// Multi-cell waits (SpinUntilMulti) are handled here: if the predicate
+// already holds the body resumes immediately (and we keep waiting for its
+// next announcement), otherwise the process parks watching all cells.
+func (m *Machine) waitQuiescent(p *Proc) error {
+	for {
+		select {
+		case req := <-p.pendingCh:
+			p.pending = &req
+		case <-p.doneCh:
+			p.done = true
+		}
+		if p.err != nil {
+			return fmt.Errorf("sim: process %d failed: %w", p.id, p.err)
+		}
+		if p.done || !p.pending.isWait() {
+			return nil
+		}
+		if !m.registerWait(p) {
+			return nil // parked
+		}
+		// Predicate already satisfied: the body resumed; await its next
+		// announcement.
+	}
+}
+
+// registerWait charges the registration reads of a multi-cell wait, then
+// either resumes the body (predicate holds) and reports true, or parks the
+// process watching every cell and reports false.
+func (m *Machine) registerWait(p *Proc) bool {
+	req := p.pending
+	vals := make([]word.Word, len(req.multi))
+	for i, c := range req.multi {
+		// A real spin loop starts by reading each location once: charge a
+		// cache miss for copies the process does not hold, and a DSM RMR for
+		// remote cells.
+		missCC := !c.cached[p.id]
+		remote := c.owner != p.id
+		if missCC {
+			p.rmrCC++
+			c.cached[p.id] = true
+		}
+		if remote {
+			p.rmrDSM++
+		}
+		if missCC || remote {
+			m.seq++
+			m.record(Event{Seq: m.seq, Kind: EvWake, Proc: p.id, Cell: c.id, CellLabel: c.label, RMRCC: missCC, RMRDSM: remote})
+		}
+		vals[i] = c.val
+	}
+	if req.multiPred(vals) {
+		p.pending = nil
+		p.resumeCh <- verdict{vals: vals}
+		return true
+	}
+	p.parked = true
+	for _, c := range req.multi {
+		c.watchers[p.id] = struct{}{}
+	}
+	return false
+}
+
+// checkProc validates that process p can take an action.
+func (m *Machine) checkProc(p int) (*Proc, error) {
+	if !m.started {
+		return nil, ErrNotStarted
+	}
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if p < 0 || p >= len(m.procs) {
+		return nil, fmt.Errorf("sim: process %d out of range", p)
+	}
+	pr := m.procs[p]
+	if pr.done {
+		return nil, fmt.Errorf("step process %d: %w", p, ErrDone)
+	}
+	if len(m.schedule) >= m.cfg.MaxSteps {
+		return nil, ErrMaxSteps
+	}
+	return pr, nil
+}
+
+// Step executes process p's pending operation. If p is parked on a spin whose
+// predicate is still false after the probe read, p parks again (the probe is
+// still a step and is accounted). Otherwise p runs until its next
+// shared-memory operation or completion.
+func (m *Machine) Step(p int) (Event, error) {
+	pr, err := m.checkProc(p)
+	if err != nil {
+		return Event{}, err
+	}
+	req := pr.pending
+	if req == nil {
+		return Event{}, fmt.Errorf("sim: process %d has no pending operation", p)
+	}
+	if req.isWait() {
+		return Event{}, fmt.Errorf("sim: process %d is waiting on a multi-cell spin and cannot be stepped", p)
+	}
+
+	ev := m.applyStep(pr, req)
+	m.schedule = append(m.schedule, Action{Proc: p})
+
+	if req.spin != nil && !req.spin(ev.Ret) {
+		// Park: keep the pending request, wait for the cell to change.
+		pr.parked = true
+		req.cell.watchers[p] = struct{}{}
+		ev.Parked = true
+		m.record(ev)
+		return ev, nil
+	}
+
+	pr.parked = false
+	delete(req.cell.watchers, p)
+	pr.pending = nil
+	m.record(ev)
+
+	// A non-read operation may satisfy multi-cell waiters; resume them (in
+	// process-id order, for determinism) before the stepping process's body.
+	if !req.op.IsRead() {
+		if err := m.resolveWakes(req.cell); err != nil {
+			return ev, err
+		}
+	}
+
+	// Resume the body with the operation's result.
+	pr.resumeCh <- verdict{ret: ev.Ret}
+	if err := m.waitQuiescent(pr); err != nil {
+		return ev, err
+	}
+	return ev, nil
+}
+
+// resolveWakes rechecks every multi-cell waiter watching c after a non-read
+// operation touched it. Each recheck is charged like the cache-miss re-read
+// it models; satisfied waiters resume and run to their next announcement.
+func (m *Machine) resolveWakes(c *simCell) error {
+	ids := make([]int, 0, len(c.watchers))
+	for q := range c.watchers {
+		ids = append(ids, q)
+	}
+	sortInts(ids)
+	for _, q := range ids {
+		qr := m.procs[q]
+		if qr.pending == nil || !qr.pending.isWait() {
+			continue
+		}
+		// Phantom recheck: the touch invalidated q's copy of c.
+		qr.rmrCC++
+		c.cached[q] = true
+		remote := c.owner != q
+		if remote {
+			qr.rmrDSM++
+		}
+		vals := make([]word.Word, len(qr.pending.multi))
+		for i, wc := range qr.pending.multi {
+			vals[i] = wc.val
+		}
+		ok := qr.pending.multiPred(vals)
+		m.seq++
+		m.record(Event{
+			Seq: m.seq, Kind: EvWake, Proc: q,
+			Cell: c.id, CellLabel: c.label,
+			RMRCC: true, RMRDSM: remote, Parked: !ok,
+		})
+		if !ok {
+			continue
+		}
+		for _, wc := range qr.pending.multi {
+			delete(wc.watchers, q)
+		}
+		qr.pending = nil
+		qr.parked = false
+		qr.resumeCh <- verdict{vals: vals}
+		if err := m.waitQuiescent(qr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortInts sorts a small slice ascending (insertion sort; watcher sets are
+// tiny and this avoids pulling sort into the hot path).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// applyStep mutates memory, maintains cache/ownership metadata and both RMR
+// counters, and builds the trace event (not yet recorded).
+func (m *Machine) applyStep(pr *Proc, req *stepReq) Event {
+	c := req.cell
+	op := req.op
+	isRead := op.IsRead()
+
+	rmrDSM := c.owner != pr.id
+	rmrCC := !isRead || !c.cached[pr.id]
+
+	before := c.val
+	next, ret := memory.Apply(op, c.val, m.cfg.Width)
+	c.val = next
+
+	if isRead {
+		c.cached[pr.id] = true
+	} else {
+		// Any non-read operation invalidates every cache copy (paper §2) and
+		// wakes single-cell spinners parked on this cell (multi-cell waiters
+		// are rechecked by resolveWakes).
+		for i := range c.cached {
+			c.cached[i] = false
+		}
+		for q := range c.watchers {
+			if wp := m.procs[q].pending; wp != nil && !wp.isWait() {
+				m.procs[q].parked = false
+			}
+		}
+		// Watcher entries stay until the watcher is next stepped or resumed;
+		// parked=false is what marks it poised.
+	}
+	c.lastAccessor = pr.id
+	c.accessed[pr.id] = true
+
+	if rmrCC {
+		pr.rmrCC++
+	}
+	if rmrDSM {
+		pr.rmrDSM++
+	}
+	pr.steps++
+
+	m.seq++
+	return Event{
+		Seq:       m.seq,
+		Kind:      EvStep,
+		Proc:      pr.id,
+		Cell:      c.id,
+		CellLabel: c.label,
+		Op:        op,
+		Before:    before,
+		After:     next,
+		Ret:       ret,
+		RMRCC:     rmrCC,
+		RMRDSM:    rmrDSM,
+		Spin:      req.spin != nil,
+	}
+}
+
+// Crash delivers a crash step to process p: its pending operation is
+// discarded (the paper's "about to perform a step, it may instead be forced
+// to perform a crash step"), its local state is reset, and its recover
+// protocol runs until its first shared-memory operation.
+func (m *Machine) Crash(p int) (Event, error) {
+	pr, err := m.checkProc(p)
+	if err != nil {
+		return Event{}, err
+	}
+	if pr.pending == nil {
+		return Event{}, fmt.Errorf("sim: process %d has no pending operation to preempt", p)
+	}
+	if pr.pending.isWait() {
+		for _, wc := range pr.pending.multi {
+			delete(wc.watchers, p)
+		}
+	} else if pr.parked {
+		delete(pr.pending.cell.watchers, p)
+	}
+	pr.parked = false
+	pr.pending = nil
+	pr.crashes++
+	m.seq++
+	ev := Event{Seq: m.seq, Kind: EvCrash, Proc: p}
+	m.record(ev)
+	m.schedule = append(m.schedule, Action{Proc: p, Crash: true})
+	pr.resumeCh <- verdict{crash: true}
+	if err := m.waitQuiescent(pr); err != nil {
+		return ev, err
+	}
+	return ev, nil
+}
+
+// Apply executes a schedule, action by action.
+func (m *Machine) Apply(s Schedule) error {
+	for i, a := range s {
+		var err error
+		if a.Crash {
+			_, err = m.Crash(a.Proc)
+		} else {
+			_, err = m.Step(a.Proc)
+		}
+		if err != nil {
+			return fmt.Errorf("apply action %d (%s): %w", i, a, err)
+		}
+	}
+	return nil
+}
+
+// record appends an event to the trace unless tracing is disabled.
+func (m *Machine) record(ev Event) {
+	if !m.cfg.NoTrace {
+		m.trace = append(m.trace, ev)
+	}
+}
+
+// Close shuts the machine down, terminating all process goroutines. It is
+// idempotent and must be called (typically deferred) to avoid goroutine
+// leaks when an execution is abandoned before all processes finish.
+func (m *Machine) Close() {
+	if m.closed || !m.started {
+		m.closed = true
+		return
+	}
+	m.closed = true
+	for _, pr := range m.procs {
+		if pr.done {
+			continue
+		}
+		pr.resumeCh <- verdict{kill: true}
+		<-pr.doneCh
+		pr.done = true
+	}
+}
+
+// --- controller queries -----------------------------------------------------
+
+// ProcDone reports whether p's program has returned (super-passages over).
+func (m *Machine) ProcDone(p int) bool { return m.procs[p].done }
+
+// AllDone reports whether every process has finished.
+func (m *Machine) AllDone() bool {
+	for _, pr := range m.procs {
+		if !pr.done {
+			return false
+		}
+	}
+	return true
+}
+
+// Parked reports whether p is blocked on a spin predicate that is false and
+// whose cell has not changed since the last probe.
+func (m *Machine) Parked(p int) bool { return m.procs[p].parked }
+
+// Poised reports whether p has a pending operation and is not parked, i.e.
+// stepping p performs useful work.
+func (m *Machine) Poised(p int) bool {
+	pr := m.procs[p]
+	return !pr.done && pr.pending != nil && !pr.parked
+}
+
+// PoisedProcs returns the ids of all poised processes, ascending.
+func (m *Machine) PoisedProcs() []int {
+	var out []int
+	for i := range m.procs {
+		if m.Poised(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Stuck reports a deadlock/livelock condition: no process is poised yet not
+// all processes are done (everyone alive is parked).
+func (m *Machine) Stuck() bool {
+	return !m.AllDone() && len(m.PoisedProcs()) == 0
+}
+
+// PendingOp describes the operation a process is poised (or parked) on.
+type PendingOp struct {
+	Proc int
+	Cell memory.Cell
+	Op   memory.Op
+	Spin bool
+	// Wait marks a multi-cell wait (SpinUntilMulti): Cell is nil and the
+	// process cannot be stepped until a watched cell changes.
+	Wait bool
+}
+
+// Pending returns p's pending operation, if any.
+func (m *Machine) Pending(p int) (PendingOp, bool) {
+	pr := m.procs[p]
+	if pr.done || pr.pending == nil {
+		return PendingOp{}, false
+	}
+	if pr.pending.isWait() {
+		return PendingOp{Proc: p, Wait: true}, true
+	}
+	return PendingOp{Proc: p, Cell: pr.pending.cell, Op: pr.pending.op, Spin: pr.pending.spin != nil}, true
+}
+
+// WouldRMR reports whether p's pending operation would incur an RMR right now
+// under the configured model.
+func (m *Machine) WouldRMR(p int) bool {
+	pr := m.procs[p]
+	if pr.done || pr.pending == nil || pr.pending.isWait() {
+		return false
+	}
+	c := pr.pending.cell
+	if m.cfg.Model == DSM {
+		return c.owner != p
+	}
+	return !pr.pending.op.IsRead() || !c.cached[p]
+}
+
+// RMRs returns the number of RMRs p has incurred under the configured model.
+func (m *Machine) RMRs(p int) int { return m.RMRsIn(m.cfg.Model, p) }
+
+// RMRsIn returns p's RMR count under the given model.
+func (m *Machine) RMRsIn(model Model, p int) int {
+	if model == DSM {
+		return m.procs[p].rmrDSM
+	}
+	return m.procs[p].rmrCC
+}
+
+// Crashes returns the number of crash steps delivered to p.
+func (m *Machine) Crashes(p int) int { return m.procs[p].crashes }
+
+// ProcSteps returns the number of shared-memory steps p has executed.
+func (m *Machine) ProcSteps(p int) int { return m.procs[p].steps }
+
+// Tag returns the annotation tag last set by p's body (see Proc.SetTag).
+func (m *Machine) Tag(p int) int { return m.procs[p].tag }
+
+// Steps returns the number of actions executed so far.
+func (m *Machine) Steps() int { return len(m.schedule) }
+
+// Schedule returns a copy of the executed schedule.
+func (m *Machine) Schedule() Schedule { return m.schedule.Clone() }
+
+// Trace returns the retained trace (empty when NoTrace is set). The returned
+// slice is shared; callers must not modify it.
+func (m *Machine) Trace() []Event { return m.trace }
+
+// CellByID returns the cell with the given allocation index. Allocation
+// order is deterministic, so ids are stable across replays of the same
+// construction.
+func (m *Machine) CellByID(id int) memory.Cell { return m.cells[id] }
+
+// Cells returns all allocated cells in allocation order.
+func (m *Machine) Cells() []memory.Cell {
+	out := make([]memory.Cell, len(m.cells))
+	for i, c := range m.cells {
+		out[i] = c
+	}
+	return out
+}
+
+// Value returns the current value of a cell.
+func (m *Machine) Value(c memory.Cell) word.Word { return m.own(c).val }
+
+// LastAccessor returns the process that last performed an operation on the
+// cell (the paper's last_R), or -1 if none has.
+func (m *Machine) LastAccessor(c memory.Cell) int { return m.own(c).lastAccessor }
+
+// Accessors returns the processes that have ever performed an operation on
+// the cell, ascending.
+func (m *Machine) Accessors(c memory.Cell) []int {
+	sc := m.own(c)
+	var out []int
+	for i, a := range sc.accessed {
+		if a {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// HasCache reports whether p holds a valid cache copy of c (CC model state).
+func (m *Machine) HasCache(p int, c memory.Cell) bool { return m.own(c).cached[p] }
+
+// CachedCells returns the ids of cells p holds valid cache copies of.
+func (m *Machine) CachedCells(p int) []int {
+	var out []int
+	for _, c := range m.cells {
+		if c.cached[p] {
+			out = append(out, c.id)
+		}
+	}
+	return out
+}
+
+// own asserts that the cell belongs to this machine.
+func (m *Machine) own(c memory.Cell) *simCell {
+	sc, ok := c.(*simCell)
+	if !ok || sc.m != m {
+		panic(fmt.Sprintf("sim: cell %q does not belong to this machine", c.Label()))
+	}
+	return sc
+}
+
+// simCell is a base object plus the metadata both cost models need.
+type simCell struct {
+	m            *Machine
+	id           int
+	owner        int
+	label        string
+	init         word.Word
+	val          word.Word
+	cached       []bool
+	accessed     []bool
+	lastAccessor int
+	watchers     map[int]struct{}
+}
+
+var _ memory.Cell = (*simCell)(nil)
+
+// CellID returns the allocation index.
+func (c *simCell) CellID() int { return c.id }
+
+// Owner returns the DSM segment owner.
+func (c *simCell) Owner() int { return c.owner }
+
+// Label returns the trace label.
+func (c *simCell) Label() string { return c.label }

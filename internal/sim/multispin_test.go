@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"testing"
+
+	"rme/internal/memory"
+	"rme/internal/word"
+)
+
+func TestSpinUntilMultiImmediate(t *testing.T) {
+	m := newTestMachine(t, 1, CC)
+	a := m.NewCell("a", memory.Shared, 1)
+	b := m.NewCell("b", memory.Shared, 2)
+	var got []word.Word
+	prog := ProgramFuncs{RunFunc: func(p *Proc) {
+		got = p.SpinUntilMulti([]memory.Cell{a, b}, func(vs []word.Word) bool {
+			return vs[0] == 1 && vs[1] == 2
+		})
+	}}
+	if err := m.Start([]Program{prog}); err != nil {
+		t.Fatal(err)
+	}
+	// The predicate held at registration: the process never parked, took no
+	// steps, and finished during Start.
+	if !m.ProcDone(0) {
+		t.Fatal("process should have finished without steps")
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("values = %v", got)
+	}
+	if m.Steps() != 0 {
+		t.Errorf("steps = %d, want 0", m.Steps())
+	}
+	// Registration charged one CC miss per uncached cell.
+	if rmr := m.RMRsIn(CC, 0); rmr != 2 {
+		t.Errorf("CC RMRs = %d, want 2 (registration misses)", rmr)
+	}
+}
+
+func TestSpinUntilMultiWakesOnEitherCell(t *testing.T) {
+	var got []word.Word
+	// Peterson-style wait: proceed when a == 0 OR b == 1; a starts at 1, so
+	// the waiter parks at registration.
+	m2 := newTestMachine(t, 2, CC)
+	a2 := m2.NewCell("a", memory.Shared, 1)
+	b2 := m2.NewCell("b", memory.Shared, 0)
+	waiter2 := ProgramFuncs{RunFunc: func(p *Proc) {
+		got = p.SpinUntilMulti([]memory.Cell{a2, b2}, func(vs []word.Word) bool {
+			return vs[0] == 0 || vs[1] == 1
+		})
+	}}
+	toucher := ProgramFuncs{RunFunc: func(p *Proc) {
+		p.Write(a2, 2) // recheck: pred still false
+		p.Write(b2, 1) // recheck: pred true -> waiter resumes
+	}}
+	if err := m2.Start([]Program{waiter2, toucher}); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Poised(0) {
+		t.Fatal("waiter should be parked, not poised")
+	}
+	if !m2.Parked(0) {
+		t.Fatal("waiter should be parked")
+	}
+	if _, err := m2.Step(1); err != nil { // write a2=2
+		t.Fatal(err)
+	}
+	if !m2.Parked(0) {
+		t.Fatal("waiter should still be parked (pred false)")
+	}
+	if _, err := m2.Step(1); err != nil { // write b2=1 -> wake
+		t.Fatal(err)
+	}
+	if !m2.ProcDone(0) {
+		t.Fatal("waiter should have resumed and finished")
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Errorf("values = %v, want [2 1]", got)
+	}
+	// RMRs: 2 registration misses + 2 recheck charges.
+	if rmr := m2.RMRsIn(CC, 0); rmr != 4 {
+		t.Errorf("CC RMRs = %d, want 4", rmr)
+	}
+}
+
+func TestSpinUntilMultiCrashWhileWaiting(t *testing.T) {
+	m := newTestMachine(t, 2, CC)
+	a := m.NewCell("a", memory.Shared, 1)
+	recovered := false
+	waiter := ProgramFuncs{
+		RunFunc: func(p *Proc) {
+			p.SpinUntilMulti([]memory.Cell{a}, func(vs []word.Word) bool { return vs[0] == 0 })
+		},
+		RecoverFunc: func(p *Proc) { recovered = true },
+	}
+	toucher := ProgramFuncs{RunFunc: func(p *Proc) { p.Write(a, 0) }}
+	if err := m.Start([]Program{waiter, toucher}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if !recovered || !m.ProcDone(0) {
+		t.Fatal("waiter should have recovered and finished")
+	}
+	// The write must not resume a dead watcher.
+	if _, err := m.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	if !m.AllDone() {
+		t.Fatal("all should be done")
+	}
+}
+
+func TestSpinUntilMultiStepRejected(t *testing.T) {
+	m := newTestMachine(t, 1, CC)
+	a := m.NewCell("a", memory.Shared, 1)
+	prog := ProgramFuncs{RunFunc: func(p *Proc) {
+		p.SpinUntilMulti([]memory.Cell{a}, func(vs []word.Word) bool { return vs[0] == 0 })
+	}}
+	if err := m.Start([]Program{prog}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(0); err == nil {
+		t.Fatal("stepping a multi-cell waiter should be rejected")
+	}
+	po, ok := m.Pending(0)
+	if !ok || !po.Wait {
+		t.Fatalf("pending = %+v, want Wait", po)
+	}
+	if m.WouldRMR(0) {
+		t.Error("WouldRMR for a waiter should be false")
+	}
+}
+
+func TestSpinUntilMultiChainedWakes(t *testing.T) {
+	// w1 waits on a; w2 waits on b; the toucher writes a, which wakes w1,
+	// whose continuation announces a write to b (but does not execute it —
+	// steps still come from the controller).
+	m := newTestMachine(t, 3, CC)
+	a := m.NewCell("a", memory.Shared, 0)
+	b := m.NewCell("b", memory.Shared, 0)
+	w1 := ProgramFuncs{RunFunc: func(p *Proc) {
+		p.SpinUntilMulti([]memory.Cell{a}, func(vs []word.Word) bool { return vs[0] == 1 })
+		p.Write(b, 1)
+	}}
+	w2 := ProgramFuncs{RunFunc: func(p *Proc) {
+		p.SpinUntilMulti([]memory.Cell{b}, func(vs []word.Word) bool { return vs[0] == 1 })
+	}}
+	toucher := ProgramFuncs{RunFunc: func(p *Proc) { p.Write(a, 1) }}
+	if err := m.Start([]Program{w1, w2, toucher}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(2); err != nil { // write a=1: wakes w1
+		t.Fatal(err)
+	}
+	if !m.Poised(0) {
+		t.Fatal("w1 should be poised on its write to b")
+	}
+	if m.Poised(1) || !m.Parked(1) {
+		t.Fatal("w2 should still be parked")
+	}
+	if _, err := m.Step(0); err != nil { // w1 writes b: wakes w2
+		t.Fatal(err)
+	}
+	if !m.AllDone() {
+		t.Fatal("everyone should be done")
+	}
+}
