@@ -304,6 +304,64 @@ func BenchmarkMutexSessionSetup(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionReuse contrasts fresh construction per run against the
+// engine worker's reset-reuse path on the same contended workload — the
+// tentpole optimisation for replay-heavy callers (checker, adversary).
+func BenchmarkSessionReuse(b *testing.B) {
+	cfg := mutex.Config{
+		Procs: 64, Width: 16, Model: rme.CC,
+		Algorithm: rme.MustAlgorithm("watree"), Passes: 1, NoTrace: true,
+	}
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := mutex.NewSession(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.RunRoundRobin(); err != nil {
+				b.Fatal(err)
+			}
+			s.Close()
+		}
+	})
+	b.Run("reset", func(b *testing.B) {
+		w := rme.NewWorker()
+		defer w.Close()
+		for i := 0; i < b.N; i++ {
+			s, err := w.Session(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.RunRoundRobin(); err != nil {
+				b.Fatal(err)
+			}
+			w.Release(s)
+		}
+	})
+}
+
+// BenchmarkEngineGrid measures a whole experiment-grid batch through the
+// engine (the E2 shape) at parallelism 1; run with different GOMAXPROCS to
+// see the pool scale while output stays identical.
+func BenchmarkEngineGrid(b *testing.B) {
+	alg := rme.MustAlgorithm("watree")
+	var specs []rme.RunSpec
+	for _, n := range []int{16, 64} {
+		for _, w := range []rme.Width{4, 16, 64} {
+			specs = append(specs, rme.RunSpec{Session: rme.Config{
+				Procs: n, Width: w, Model: rme.CC, Algorithm: alg, Passes: 2, NoTrace: true,
+			}})
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		for _, r := range rme.Run(specs, rme.RunOptions{Parallel: 1}) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
 // BenchmarkExperimentTables measures the cheap experiment generators end to
 // end (the expensive ones are covered by their own benchmarks above).
 func BenchmarkExperimentTables(b *testing.B) {

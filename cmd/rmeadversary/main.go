@@ -3,18 +3,25 @@
 // stayed active, how many RMRs were forced, where hiding succeeded, and the
 // outcome of every invariant audit.
 //
+// With -sweep, the adversary instead runs one construction per listed
+// process count, distributed over -parallel engine workers, and prints a
+// summary row per n (the CLI form of the E1 grid).
+//
 // Usage:
 //
 //	rmeadversary [-alg watree] [-n 64] [-w 8] [-model cc] [-k 0]
+//	rmeadversary [-alg watree] [-w 8] -sweep 16,64,256 [-parallel N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"rme/internal/adversary"
+	"rme/internal/engine"
 	"rme/internal/algorithms/clh"
 	"rme/internal/algorithms/grlock"
 	"rme/internal/algorithms/mcs"
@@ -61,6 +68,8 @@ func run(args []string) error {
 	w := fs.Int("w", 8, "word size in bits")
 	modelName := fs.String("model", "cc", "cost model: cc or dsm")
 	k := fs.Int("k", 0, "high-contention threshold (0 = w^2)")
+	sweep := fs.String("sweep", "", "comma-separated n values; runs one construction per n and prints a summary table")
+	parallel := fs.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS); summary rows are identical at any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,6 +81,10 @@ func run(args []string) error {
 	model := sim.CC
 	if strings.EqualFold(*modelName, "dsm") {
 		model = sim.DSM
+	}
+
+	if *sweep != "" {
+		return runSweep(alg, *sweep, *w, model, *k, *parallel)
 	}
 
 	adv, err := adversary.New(adversary.Config{
@@ -115,5 +128,57 @@ func run(args []string) error {
 		return fmt.Errorf("%d invariant violations", len(rep.InvariantViolations))
 	}
 	fmt.Printf("invariant audit:    clean\n")
+	return nil
+}
+
+// runSweep runs one adversary construction per listed n in parallel and
+// prints summary rows in list order.
+func runSweep(alg mutex.Algorithm, sweep string, w int, model sim.Model, k, parallel int) error {
+	var ns []int
+	for _, tok := range strings.Split(sweep, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return fmt.Errorf("bad -sweep entry %q: %w", tok, err)
+		}
+		ns = append(ns, n)
+	}
+	reps := make([]*adversary.Report, len(ns))
+	err := engine.ForEach(len(ns), parallel, func(i int) error {
+		adv, err := adversary.New(adversary.Config{
+			Session: mutex.Config{
+				Procs: ns[i], Width: word.Width(w), Model: model, Algorithm: alg,
+			},
+			K: k,
+		})
+		if err != nil {
+			return fmt.Errorf("n=%d: %w", ns[i], err)
+		}
+		defer adv.Close()
+		rep, err := adv.Run()
+		if err != nil {
+			return fmt.Errorf("n=%d: %w", ns[i], err)
+		}
+		reps[i] = rep
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("adversary sweep vs %s: w=%d model=%s k=%d\n\n", alg.Name(), w, model, k)
+	fmt.Printf("%-8s %-8s %-12s %-10s %-10s %-10s %-14s %s\n",
+		"n", "rounds", "forced RMRs", "survivors", "replays", "rollbacks", "ceil(log_w n)", "violations")
+	violations := 0
+	for i, n := range ns {
+		rep := reps[i]
+		fmt.Printf("%-8d %-8d %-12d %-10d %-10d %-10d %-14d %d\n",
+			n, rep.ViableRounds, rep.ForcedRMRs(), len(rep.Survivors),
+			rep.Replays, rep.RemovalRollbacks, word.CeilLog(w, n), len(rep.InvariantViolations))
+		violations += len(rep.InvariantViolations)
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d invariant violations across sweep", violations)
+	}
+	fmt.Printf("\ninvariant audit:    clean\n")
 	return nil
 }

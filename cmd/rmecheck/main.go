@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rmecheck [-alg watree] [-n 2] [-w 8] [-model cc] [-crashes 1] [-max 50000] [-stress 200]
+//	rmecheck [-alg watree] [-n 2] [-w 8] [-model cc] [-crashes 1] [-max 50000] [-stress 200] [-parallel N]
 package main
 
 import (
@@ -47,6 +47,7 @@ func run(args []string) error {
 	crashes := fs.Int("crashes", 1, "crash steps per process to branch over (recoverable algorithms)")
 	maxSched := fs.Int("max", 50_000, "exhaustive schedule cap")
 	stress := fs.Int("stress", 200, "randomized stress seeds (0 to skip)")
+	parallel := fs.Int("parallel", 0, "stress workers (0 = GOMAXPROCS); results are seed-deterministic at any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +71,7 @@ func run(args []string) error {
 		},
 		MaxSchedules:   *maxSched,
 		CrashesPerProc: *crashes,
+		Parallel:       *parallel,
 	}
 
 	fmt.Printf("exhaustive: %s n=%d w=%d model=%s crashes<=%d\n", alg.Name(), *n, *w, model, *crashes)

@@ -4,18 +4,25 @@
 // Mutual Exclusion" (PODC 2023). See DESIGN.md for the experiment index and
 // EXPERIMENTS.md for recorded output.
 //
+// Grids run on the engine's deterministic worker pool: the rendered tables
+// are byte-identical at any -parallel value (including 1), only wall time
+// changes. A machine-readable summary — wall time, run counts, and RMR
+// statistics per experiment — is written to the -json path.
+//
 // Usage:
 //
-//	rmrbench [-full] [-only E2,E5]
+//	rmrbench [-full] [-only E2,E5] [-parallel N] [-json BENCH_results.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"rme/internal/engine"
 	"rme/internal/harness"
 )
 
@@ -26,10 +33,29 @@ func main() {
 	}
 }
 
+// experimentRecord is one experiment's entry in the JSON report.
+type experimentRecord struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	WallMS float64 `json:"wall_ms"`
+	Tables int     `json:"tables"`
+	engine.MetricsSnapshot
+}
+
+// benchReport is the top-level JSON report.
+type benchReport struct {
+	Full        bool               `json:"full"`
+	Parallel    int                `json:"parallel"`
+	TotalWallMS float64            `json:"total_wall_ms"`
+	Experiments []experimentRecord `json:"experiments"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("rmrbench", flag.ContinueOnError)
 	full := fs.Bool("full", false, "run the enlarged parameter sweeps")
 	only := fs.String("only", "", "comma-separated experiment ids (e.g. E1,E5); default all")
+	parallel := fs.Int("parallel", 0, "engine workers per experiment grid (0 = GOMAXPROCS); tables are identical at any value")
+	jsonPath := fs.String("json", "BENCH_results.json", "machine-readable report path (empty to skip)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,22 +67,48 @@ func run(args []string) error {
 		}
 	}
 
-	opts := harness.Options{Full: *full}
+	report := benchReport{Full: *full, Parallel: engine.Parallelism(*parallel)}
+	benchStart := time.Now()
 	for _, exp := range harness.All() {
 		if len(want) > 0 && !want[exp.ID] {
 			continue
 		}
 		fmt.Printf("=== %s: %s\n", exp.ID, exp.Title)
 		fmt.Printf("    claim: %s\n\n", exp.Claim)
+		metrics := &engine.Metrics{}
+		opts := harness.Options{Full: *full, Parallel: *parallel, Metrics: metrics}
 		start := time.Now()
 		tables, err := exp.Run(opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", exp.ID, err)
 		}
+		wall := time.Since(start)
 		for i := range tables {
 			tables[i].Render(os.Stdout)
 		}
-		fmt.Printf("    (%s in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		// Timings go to stderr: stdout is byte-identical at any -parallel
+		// value, so runs can be diffed directly.
+		fmt.Fprintf(os.Stderr, "    (%s in %v)\n\n", exp.ID, wall.Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, experimentRecord{
+			ID:              exp.ID,
+			Title:           exp.Title,
+			WallMS:          float64(wall.Microseconds()) / 1000,
+			Tables:          len(tables),
+			MetricsSnapshot: metrics.Snapshot(),
+		})
+	}
+	report.TotalWallMS = float64(time.Since(benchStart).Microseconds()) / 1000
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d experiments, %.0f ms total)\n",
+			*jsonPath, len(report.Experiments), report.TotalWallMS)
 	}
 	return nil
 }

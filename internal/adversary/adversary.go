@@ -45,6 +45,7 @@ import (
 	"fmt"
 	"sort"
 
+	"rme/internal/engine"
 	"rme/internal/memory"
 	"rme/internal/mutex"
 	"rme/internal/sim"
@@ -181,6 +182,8 @@ type Report struct {
 	// row index): every survivor was charged at least one RMR in each of
 	// these rounds.
 	ViableRounds int
+	// Steps is the length of the final execution's schedule.
+	Steps int
 	// InvariantViolations lists operational invariant-audit failures
 	// (empty in a sound construction).
 	InvariantViolations []string
@@ -214,9 +217,13 @@ func (r *Report) MinSurvivorRMRs() int {
 	return minRMR
 }
 
-// Adversary drives one construction.
+// Adversary drives one construction. It holds the live session checked out
+// of an engine.Worker; replay candidates (buildWithout) cycle through the
+// same worker, so the whole construction — every erasure audit included —
+// runs on at most two machines.
 type Adversary struct {
 	cfg        Config
+	worker     *engine.Worker
 	session    *mutex.Session
 	status     []Status
 	report     Report
@@ -226,12 +233,15 @@ type Adversary struct {
 // New prepares an adversary over a fresh session.
 func New(cfg Config) (*Adversary, error) {
 	cfg = cfg.withDefaults()
-	s, err := mutex.NewSession(cfg.Session)
+	w := engine.NewWorker()
+	s, err := w.Session(cfg.Session)
 	if err != nil {
+		w.Close()
 		return nil, err
 	}
 	a := &Adversary{
 		cfg:     cfg,
+		worker:  w,
 		session: s,
 		status:  make([]Status, cfg.Session.Procs),
 	}
@@ -245,10 +255,15 @@ func New(cfg Config) (*Adversary, error) {
 	return a, nil
 }
 
-// Close releases the underlying machine.
+// Close releases the underlying machines.
 func (a *Adversary) Close() {
 	if a.session != nil {
 		a.session.Close()
+		a.session = nil
+	}
+	if a.worker != nil {
+		a.worker.Close()
+		a.worker = nil
 	}
 }
 
@@ -304,6 +319,7 @@ func (a *Adversary) snapshotViable(round int) {
 }
 
 func (a *Adversary) finishReport() {
+	a.report.Steps = a.session.Machine().Steps()
 	v := a.lastViable
 	a.report.Survivors = v.procs
 	a.report.SurvivorRMRs = v.rmrs

@@ -74,15 +74,16 @@ func (a *Adversary) removeOrBlock(p int, rep *Round) {
 	a.report.RemovalRollbacks++
 }
 
-// tryErase replays the schedule without p's actions on a fresh machine and
-// adopts the replay iff every remaining process's observables are
-// unchanged. It reports whether the erasure was adopted.
+// tryErase replays the schedule without p's actions on a recycled machine
+// and adopts the replay iff every remaining process's observables are
+// unchanged. On adoption the superseded session goes back to the worker as
+// the spare for the next replay. It reports whether the erasure was adopted.
 func (a *Adversary) tryErase(p int) bool {
 	replayed, ok := a.buildWithout(p)
 	if !ok {
 		return false
 	}
-	a.session.Close()
+	a.worker.Release(a.session)
 	a.session = replayed
 	a.report.Replays++
 	return true
@@ -94,28 +95,30 @@ func (a *Adversary) tryErase(p int) bool {
 func (a *Adversary) verifyErasable(p int) bool {
 	replayed, ok := a.buildWithout(p)
 	if ok {
-		replayed.Close()
+		a.worker.Release(replayed)
 	}
 	return ok
 }
 
-// buildWithout constructs a fresh session, replays the current schedule
-// restricted to all processes except p, and verifies the observables of
-// every process other than p. On success the new session is returned.
+// buildWithout checks a session out of the worker (usually the recycled
+// spare from the previous audit), replays the current schedule restricted to
+// all processes except p, and verifies the observables of every process
+// other than p. On success the new session is returned; on failure it goes
+// back to the worker.
 func (a *Adversary) buildWithout(p int) (*mutex.Session, bool) {
 	old := a.session.Machine()
 	restricted := old.Schedule().Restrict(func(q int) bool { return q != p })
 
-	fresh, err := mutex.NewSession(a.cfg.Session)
+	fresh, err := a.worker.Session(a.cfg.Session)
 	if err != nil {
 		return nil, false
 	}
 	if err := applySchedule(fresh, restricted); err != nil {
-		fresh.Close()
+		a.worker.Release(fresh)
 		return nil, false
 	}
 	if len(fresh.Violations()) > 0 {
-		fresh.Close()
+		a.worker.Release(fresh)
 		return nil, false
 	}
 	nm := fresh.Machine()
@@ -125,7 +128,7 @@ func (a *Adversary) buildWithout(p int) (*mutex.Session, bool) {
 		}
 		active := a.status[q] == Active
 		if observe(old, q, active) != observe(nm, q, active) {
-			fresh.Close()
+			a.worker.Release(fresh)
 			return nil, false
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rme/internal/engine"
 	"rme/internal/mutex"
 	"rme/internal/sim"
 )
@@ -31,6 +32,10 @@ type Config struct {
 	// CrashesPerProc > 0 additionally branches on crash steps (recoverable
 	// algorithms only), up to the given number of crashes per process.
 	CrashesPerProc int
+	// Parallel is the worker count for Stress (<= 0 means GOMAXPROCS).
+	// Exhaustive is a sequential DFS; it instead reuses one machine across
+	// branches via the engine's reset-reuse worker.
+	Parallel int
 }
 
 func (c Config) withDefaults() Config {
@@ -78,13 +83,16 @@ func (r *Result) Err() error {
 		len(r.Violations), len(r.Deadlocks), msg)
 }
 
-// Exhaustive runs the bounded-exhaustive search.
+// Exhaustive runs the bounded-exhaustive search. The DFS replays every
+// schedule prefix on a single recycled machine (engine.Worker reset-reuse)
+// instead of constructing a fresh one per branch.
 func Exhaustive(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Session.Validate(); err != nil {
 		return nil, err
 	}
-	e := &explorer{cfg: cfg, res: &Result{}}
+	e := &explorer{cfg: cfg, res: &Result{}, worker: engine.NewWorker()}
+	defer e.worker.Close()
 	if err := e.explore(nil); err != nil {
 		return nil, err
 	}
@@ -92,8 +100,9 @@ func Exhaustive(cfg Config) (*Result, error) {
 }
 
 type explorer struct {
-	cfg Config
-	res *Result
+	cfg    Config
+	res    *Result
+	worker *engine.Worker
 }
 
 // explore examines the execution reached by prefix, branching over every
@@ -104,12 +113,13 @@ func (e *explorer) explore(prefix sim.Schedule) error {
 		return nil
 	}
 
-	s, err := mutex.NewSession(e.cfg.Session)
+	s, err := e.worker.Session(e.cfg.Session)
 	if err != nil {
 		return err
 	}
-	defer s.Close()
+	release := func() { e.worker.Release(s) }
 	if err := applyPrefix(s, prefix); err != nil {
+		release()
 		// The prefix was validated when it was constructed; failure here is
 		// an internal error.
 		return fmt.Errorf("check: replaying prefix %v: %w", prefix, err)
@@ -117,35 +127,36 @@ func (e *explorer) explore(prefix sim.Schedule) error {
 	if v := s.Violations(); len(v) > 0 {
 		e.res.Violations = append(e.res.Violations,
 			fmt.Sprintf("%s [schedule %s]", v[0], prefix))
+		release()
 		return nil
 	}
 
 	m := s.Machine()
 	if m.AllDone() {
 		e.res.Complete++
+		release()
 		return nil
 	}
 	poised := m.PoisedProcs()
 	if len(poised) == 0 {
 		e.res.Deadlocks = append(e.res.Deadlocks, prefix.String())
+		release()
 		return nil
 	}
 	if len(prefix) >= e.cfg.MaxDepth {
 		e.res.Truncated = true
+		release()
 		return nil
 	}
 
+	// Snapshot the branch set before recursing: child explorations recycle
+	// this worker's machine, so m is invalid once the first child runs.
 	recoverable := e.cfg.Session.Algorithm.Recoverable()
+	branches := make([]sim.Action, 0, 2*len(poised))
 	for _, p := range poised {
-		next := append(prefix.Clone(), sim.Action{Proc: p})
-		if err := e.explore(next); err != nil {
-			return err
-		}
+		branches = append(branches, sim.Action{Proc: p})
 		if recoverable && e.cfg.CrashesPerProc > 0 && m.Crashes(p) < e.cfg.CrashesPerProc {
-			next := append(prefix.Clone(), sim.Action{Proc: p, Crash: true})
-			if err := e.explore(next); err != nil {
-				return err
-			}
+			branches = append(branches, sim.Action{Proc: p, Crash: true})
 		}
 	}
 	// Crash branching for parked processes (they have no step branch but
@@ -155,10 +166,15 @@ func (e *explorer) explore(prefix sim.Schedule) error {
 			if m.ProcDone(p) || !m.Parked(p) || m.Crashes(p) >= e.cfg.CrashesPerProc {
 				continue
 			}
-			next := append(prefix.Clone(), sim.Action{Proc: p, Crash: true})
-			if err := e.explore(next); err != nil {
-				return err
-			}
+			branches = append(branches, sim.Action{Proc: p, Crash: true})
+		}
+	}
+	release()
+
+	for _, act := range branches {
+		next := append(prefix.Clone(), act)
+		if err := e.explore(next); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -180,31 +196,44 @@ func applyPrefix(s *mutex.Session, prefix sim.Schedule) error {
 }
 
 // Stress runs many randomized schedules (with optional crash injection) and
-// aggregates failures.
+// aggregates failures. Seeds are distributed over cfg.Parallel engine
+// workers; each seed's run is a pure function of its seed, so the aggregate
+// is identical at any parallelism level.
 func Stress(cfg Config, seeds int, crashProb float64) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Session.Validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	// Stuck schedules are read inside Drive (before the session is
+	// recycled) and reported by seed index afterwards.
+	stuck := make([]string, seeds)
+	specs := make([]engine.RunSpec, seeds)
 	for seed := 0; seed < seeds; seed++ {
-		s, err := mutex.NewSession(cfg.Session)
-		if err != nil {
-			return nil, err
+		seed := seed
+		specs[seed] = engine.RunSpec{
+			Session: cfg.Session,
+			Drive: func(s *mutex.Session) error {
+				err := s.RunRandom(int64(seed), mutex.RandomRunOptions{
+					CrashProb:         crashProb,
+					MaxCrashesPerProc: cfg.CrashesPerProc,
+				})
+				if errors.Is(err, mutex.ErrStuck) {
+					stuck[seed] = s.Machine().Schedule().String()
+				}
+				return err
+			},
 		}
-		runErr := s.RunRandom(int64(seed), mutex.RandomRunOptions{
-			CrashProb:         crashProb,
-			MaxCrashesPerProc: cfg.CrashesPerProc,
-		})
+	}
+	res := &Result{}
+	for seed, r := range engine.Run(specs, engine.Options{Parallel: cfg.Parallel}) {
 		switch {
-		case runErr == nil:
+		case r.Err == nil:
 			res.Complete++
-		case errors.Is(runErr, mutex.ErrStuck):
-			res.Deadlocks = append(res.Deadlocks, fmt.Sprintf("seed %d: %s", seed, s.Machine().Schedule()))
+		case errors.Is(r.Err, mutex.ErrStuck):
+			res.Deadlocks = append(res.Deadlocks, fmt.Sprintf("seed %d: %s", seed, stuck[seed]))
 		default:
-			res.Violations = append(res.Violations, fmt.Sprintf("seed %d: %v", seed, runErr))
+			res.Violations = append(res.Violations, fmt.Sprintf("seed %d: %v", seed, r.Err))
 		}
-		s.Close()
 	}
 	return res, nil
 }

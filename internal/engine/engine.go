@@ -1,0 +1,306 @@
+// Package engine is the execution layer between the simulator/driver stack
+// and everything that launches simulation runs: experiment grids, the model
+// checker, the lower-bound adversary's replay machinery, and the CLIs.
+//
+// It contributes two things the callers used to hand-roll:
+//
+//   - Reuse. A Worker checks sessions out and back in; a released session
+//     whose configuration matches the next request is Reset (alloc-free cell
+//     rollback, sim.Machine.Reset) instead of rebuilt, which removes the
+//     dominant construction cost from replay-heavy workloads (the checker
+//     rebuilds the same configuration for every DFS branch, the adversary
+//     for every erasure audit).
+//
+//   - Parallelism with determinism. Run executes a batch of RunSpecs on a
+//     pool of workers — one live machine per worker — and merges results in
+//     submission order regardless of completion order, so a table rendered
+//     from the results is byte-identical at any parallelism level,
+//     including 1.
+package engine
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rme/internal/mutex"
+	"rme/internal/sim"
+)
+
+// RunSpec describes one simulation run: a session construction plus how to
+// drive it.
+type RunSpec struct {
+	// Session is the machine/algorithm configuration.
+	Session mutex.Config
+	// Drive executes the run; nil means Session.RunRoundRobin. It must be
+	// deterministic (seed any randomness from the spec itself) or the
+	// engine's byte-identical-at-any-parallelism guarantee is void.
+	Drive func(*mutex.Session) error
+	// Collect extracts an experiment-specific payload from the completed
+	// session into Result.Payload; optional. It runs on the worker before
+	// the session is recycled, so it must not retain the session.
+	Collect func(*mutex.Session) (interface{}, error)
+}
+
+// Result is the outcome of one RunSpec, in submission order
+// (Result[i].Index == i always).
+type Result struct {
+	// Index is the spec's position in the submitted batch.
+	Index int
+	// MaxRMRCC/MaxRMRDSM are the worst per-passage RMR counts under each
+	// model; TotalRMRCC/TotalRMRDSM sum over all processes.
+	MaxRMRCC, MaxRMRDSM     int
+	TotalRMRCC, TotalRMRDSM int
+	// Steps is the executed schedule length.
+	Steps int
+	// Violations are the safety-monitor failures (empty on a correct run).
+	Violations []string
+	// Payload is Collect's return value, if a Collect was given.
+	Payload interface{}
+	// Err is the first error from construction, Drive, or Collect.
+	Err error
+}
+
+// MaxRMR returns the worst per-passage RMR count under the given model.
+func (r Result) MaxRMR(m sim.Model) int {
+	if m == sim.DSM {
+		return r.MaxRMRDSM
+	}
+	return r.MaxRMRCC
+}
+
+// TotalRMR returns the total RMR count under the given model.
+func (r Result) TotalRMR(m sim.Model) int {
+	if m == sim.DSM {
+		return r.TotalRMRDSM
+	}
+	return r.TotalRMRCC
+}
+
+// Options tunes a Run.
+type Options struct {
+	// Parallel is the worker count; <= 0 means GOMAXPROCS.
+	Parallel int
+	// Metrics, when non-nil, accumulates run counts and RMR statistics
+	// across Run calls (used by cmd/rmrbench's machine-readable output).
+	Metrics *Metrics
+}
+
+// Parallelism resolves a parallelism request: values <= 0 mean GOMAXPROCS.
+func Parallelism(p int) int {
+	if p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes every spec and returns one Result per spec, index-aligned
+// with the input. Specs are distributed over min(Parallel, len(specs))
+// workers, each owning at most one live machine; results land in their
+// submission slots, so the output order never depends on scheduling.
+// Individual failures are reported per-Result, not as a joint error.
+func Run(specs []RunSpec, opts Options) []Result {
+	res := make([]Result, len(specs))
+	par := Parallelism(opts.Parallel)
+	if par > len(specs) {
+		par = len(specs)
+	}
+	if par <= 1 {
+		w := NewWorker()
+		defer w.Close()
+		for i := range specs {
+			res[i] = runOne(w, i, &specs[i], opts.Metrics)
+		}
+		return res
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < par; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := NewWorker()
+			defer w.Close()
+			for i := range jobs {
+				res[i] = runOne(w, i, &specs[i], opts.Metrics)
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return res
+}
+
+func runOne(w *Worker, i int, spec *RunSpec, m *Metrics) Result {
+	r := Result{Index: i}
+	s, err := w.Session(spec.Session)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	drive := spec.Drive
+	if drive == nil {
+		drive = (*mutex.Session).RunRoundRobin
+	}
+	r.Err = drive(s)
+	r.MaxRMRCC = s.MaxPassageRMRs(sim.CC)
+	r.MaxRMRDSM = s.MaxPassageRMRs(sim.DSM)
+	r.TotalRMRCC = s.TotalRMRs(sim.CC)
+	r.TotalRMRDSM = s.TotalRMRs(sim.DSM)
+	r.Steps = s.Machine().Steps()
+	r.Violations = s.Violations()
+	if r.Err == nil && spec.Collect != nil {
+		r.Payload, r.Err = spec.Collect(s)
+	}
+	w.Release(s)
+	if m != nil {
+		m.Add(1, r.Steps, r.MaxRMR(spec.Session.Model))
+	}
+	return r
+}
+
+// ForEach runs fn(0), …, fn(n-1) across min(parallel, n) goroutines and
+// returns the failure with the lowest index (deterministic regardless of
+// completion order), or nil. It is the engine entry point for jobs that
+// manage their own sessions (e.g. whole adversary constructions in an
+// experiment grid).
+func ForEach(n, parallel int, fn func(i int) error) error {
+	par := Parallelism(parallel)
+	if par > n {
+		par = n
+	}
+	errs := make([]error, n)
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for k := 0; k < par; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Worker owns at most one live simulated machine and recycles it across
+// runs. Checkout (Session) and checkin (Release) are explicit so that
+// callers like the adversary can hold one session while a second one — the
+// replay candidate — cycles through the worker. Workers are not safe for
+// concurrent use; Run gives each pool goroutine its own.
+type Worker struct {
+	spare *mutex.Session
+}
+
+// NewWorker returns an empty worker.
+func NewWorker() *Worker { return &Worker{} }
+
+// Session checks out a session for cfg. If the worker holds a released
+// session with a compatible configuration it is Reset and handed back
+// (alloc-free); otherwise a new session is built. The caller must Release
+// or Close the returned session.
+func (w *Worker) Session(cfg mutex.Config) (*mutex.Session, error) {
+	if s := w.spare; s != nil {
+		w.spare = nil
+		if mutex.Compatible(s.Config(), cfg) {
+			if err := s.Reset(); err == nil {
+				return s, nil
+			}
+		}
+		s.Close()
+	}
+	return mutex.NewSession(cfg)
+}
+
+// Release returns a session to the worker for reuse. If the worker already
+// holds a spare, the released session is closed instead.
+func (w *Worker) Release(s *mutex.Session) {
+	if s == nil {
+		return
+	}
+	if w.spare == nil {
+		w.spare = s
+		return
+	}
+	s.Close()
+}
+
+// Close releases the cached machine.
+func (w *Worker) Close() {
+	if w.spare != nil {
+		w.spare.Close()
+		w.spare = nil
+	}
+}
+
+// Metrics accumulates run statistics across engine launches; all methods
+// are safe for concurrent use. cmd/rmrbench threads one Metrics through
+// each experiment to report runs and max/avg RMRs in BENCH_results.json.
+type Metrics struct {
+	runs      atomic.Int64
+	steps     atomic.Int64
+	maxRMR    atomic.Int64
+	sumMaxRMR atomic.Int64
+}
+
+// Add records runs simulation runs with the given total step count and
+// worst per-passage RMR count. Consumers that bypass Run (adversary grids)
+// call it directly.
+func (m *Metrics) Add(runs, steps, maxRMR int) {
+	m.runs.Add(int64(runs))
+	m.steps.Add(int64(steps))
+	m.sumMaxRMR.Add(int64(maxRMR))
+	for {
+		cur := m.maxRMR.Load()
+		if int64(maxRMR) <= cur || m.maxRMR.CompareAndSwap(cur, int64(maxRMR)) {
+			return
+		}
+	}
+}
+
+// MetricsSnapshot is a point-in-time reading.
+type MetricsSnapshot struct {
+	// Runs is the number of simulation runs executed.
+	Runs int64 `json:"runs"`
+	// Steps is the total number of scheduled actions across runs.
+	Steps int64 `json:"steps"`
+	// MaxRMR is the worst per-passage RMR count observed in any run (under
+	// each run's own configured model).
+	MaxRMR int64 `json:"max_rmr"`
+	// AvgMaxRMR averages the per-run worst passage cost over all runs.
+	AvgMaxRMR float64 `json:"avg_max_rmr"`
+}
+
+// Snapshot returns the current totals.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Runs:   m.runs.Load(),
+		Steps:  m.steps.Load(),
+		MaxRMR: m.maxRMR.Load(),
+	}
+	if s.Runs > 0 {
+		s.AvgMaxRMR = math.Round(float64(m.sumMaxRMR.Load())/float64(s.Runs)*100) / 100
+	}
+	return s
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rme/internal/algorithms/watree"
+	"rme/internal/engine"
 	"rme/internal/mutex"
 	"rme/internal/sim"
 	"rme/internal/word"
@@ -37,7 +38,7 @@ func runE12(opts Options) ([]Table, error) {
 			"column to a depth-independent constant — the k=1 end of the adaptive bound " +
 			"O(min(k, log_w n)) — while the plain tree pays the climb even alone.",
 	}
-	for _, tc := range []struct {
+	cases := []struct {
 		alg mutex.Algorithm
 		w   int
 	}{
@@ -45,7 +46,25 @@ func runE12(opts Options) ([]Table, error) {
 		{watree.New(watree.WithFastPath()), 8},
 		{watree.New(watree.WithFanout(2)), 16},
 		{watree.New(watree.WithFanout(2), watree.WithFastPath()), 16},
-	} {
+	}
+	// Two specs per case: a solo passage (custom drive stepping only p0)
+	// and a saturated round-robin run.
+	var specs []engine.RunSpec
+	for _, tc := range cases {
+		specs = append(specs, engine.RunSpec{
+			Session: mutex.Config{
+				Procs: n, Width: word.Width(tc.w), Model: sim.CC, Algorithm: tc.alg, NoTrace: true,
+			},
+			Drive:   soloDrive,
+			Collect: soloCollect,
+		}, engine.RunSpec{
+			Session: mutex.Config{
+				Procs: n, Width: word.Width(tc.w), Model: sim.CC, Algorithm: tc.alg, Passes: 2, NoTrace: true,
+			},
+		})
+	}
+	results := engine.Run(specs, opts.engineOpts())
+	for i, tc := range cases {
 		depthAlg, ok := tc.alg.(watree.Lock)
 		if !ok {
 			return nil, fmt.Errorf("E12: unexpected algorithm type")
@@ -53,46 +72,41 @@ func runE12(opts Options) ([]Table, error) {
 		fan := depthAlg.Fanout(word.Width(tc.w), n)
 		depth := ceilLogInt(fan, n)
 
-		solo, err := soloCost(tc.alg, n, tc.w)
-		if err != nil {
-			return nil, fmt.Errorf("E12 %s solo: %w", tc.alg.Name(), err)
+		solo, sat := results[2*i], results[2*i+1]
+		if solo.Err != nil {
+			return nil, fmt.Errorf("E12 %s solo: %w", tc.alg.Name(), solo.Err)
 		}
-		satCC, _, err := measurePassages(mutex.Config{
-			Procs: n, Width: word.Width(tc.w), Model: sim.CC, Algorithm: tc.alg, Passes: 2, NoTrace: true,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("E12 %s saturated: %w", tc.alg.Name(), err)
+		if sat.Err != nil {
+			return nil, fmt.Errorf("E12 %s saturated: %w", tc.alg.Name(), sat.Err)
 		}
-		t.AddRow(tc.alg.Name(), tc.w, depth, solo, satCC)
+		t.AddRow(tc.alg.Name(), tc.w, depth, solo.Payload.(int), sat.MaxRMRCC)
 	}
 	return []Table{t}, nil
 }
 
-// soloCost runs a single process through one super-passage while the rest
-// never leave the remainder section.
-func soloCost(alg mutex.Algorithm, n, w int) (int, error) {
-	s, err := mutex.NewSession(mutex.Config{
-		Procs: n, Width: word.Width(w), Model: sim.CC, Algorithm: alg, NoTrace: true,
-	})
-	if err != nil {
-		return 0, err
-	}
-	defer s.Close()
+// soloDrive runs process 0 through one super-passage while the rest never
+// leave the remainder section.
+func soloDrive(s *mutex.Session) error {
 	m := s.Machine()
 	for !m.ProcDone(0) {
 		if !m.Poised(0) {
-			return 0, fmt.Errorf("solo process blocked")
+			return fmt.Errorf("solo process blocked")
 		}
 		if _, err := s.StepProc(0); err != nil {
-			return 0, err
+			return err
 		}
 	}
+	return nil
+}
+
+// soloCollect reads process 0's passage cost.
+func soloCollect(s *mutex.Session) (interface{}, error) {
 	for _, st := range s.Stats() {
 		if st.Proc == 0 {
 			return st.RMRsCC, nil
 		}
 	}
-	return 0, fmt.Errorf("no passage stats")
+	return nil, fmt.Errorf("no passage stats")
 }
 
 func ceilLogInt(base, n int) int {

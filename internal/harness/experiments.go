@@ -7,6 +7,7 @@ import (
 
 	"rme/internal/adversary"
 	"rme/internal/algorithms/clh"
+	"rme/internal/engine"
 	"rme/internal/algorithms/grlock"
 	"rme/internal/algorithms/mcs"
 	"rme/internal/algorithms/rspin"
@@ -23,10 +24,22 @@ import (
 	"rme/internal/word"
 )
 
-// Options tunes experiment scale.
+// Options tunes experiment scale and execution.
 type Options struct {
 	// Full enlarges parameter sweeps (slower, for the headline run).
 	Full bool
+	// Parallel is the engine worker count for experiment grids (<= 0 means
+	// GOMAXPROCS). Every experiment merges results in grid order, so the
+	// rendered tables are byte-identical at any parallelism level.
+	Parallel int
+	// Metrics, when non-nil, accumulates run statistics (run counts, steps,
+	// max/avg RMRs) across experiments — cmd/rmrbench threads one through
+	// for its machine-readable report.
+	Metrics *engine.Metrics
+}
+
+func (o Options) engineOpts() engine.Options {
+	return engine.Options{Parallel: o.Parallel, Metrics: o.Metrics}
 }
 
 // Experiment is one reproducible result.
@@ -120,7 +133,43 @@ func runE1(opts Options) ([]Table, error) {
 		models = append(models, sim.DSM)
 	}
 
+	type point struct {
+		model sim.Model
+		n     int
+		w     word.Width
+	}
+	var pts []point
+	for _, model := range models {
+		for _, n := range ns {
+			for _, w := range ws {
+				pts = append(pts, point{model, n, w})
+			}
+		}
+	}
+	// One adversary construction per grid point, distributed over engine
+	// workers; reports land by index, so table order never depends on
+	// completion order.
+	reps := make([]*adversary.Report, len(pts))
+	err := engine.ForEach(len(pts), opts.Parallel, func(i int) error {
+		pt := pts[i]
+		rep, err := runAdversary(mutex.Config{
+			Procs: pt.n, Width: pt.w, Model: pt.model, Algorithm: watree.New(),
+		}, 0, opts)
+		if err != nil {
+			return fmt.Errorf("E1 n=%d w=%d: %w", pt.n, pt.w, err)
+		}
+		if len(rep.InvariantViolations) > 0 {
+			return fmt.Errorf("E1 n=%d w=%d: invariant violations: %v", pt.n, pt.w, rep.InvariantViolations)
+		}
+		reps[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var tables []Table
+	idx := 0
 	for _, model := range models {
 		t := Table{
 			Title:  fmt.Sprintf("E1 (%s): adversary vs watree — forced RMRs by (n, w)", model),
@@ -131,15 +180,8 @@ func runE1(opts Options) ([]Table, error) {
 		}
 		for _, n := range ns {
 			for _, w := range ws {
-				rep, err := runAdversary(mutex.Config{
-					Procs: n, Width: w, Model: model, Algorithm: watree.New(),
-				}, 0)
-				if err != nil {
-					return nil, fmt.Errorf("E1 n=%d w=%d: %w", n, w, err)
-				}
-				if len(rep.InvariantViolations) > 0 {
-					return nil, fmt.Errorf("E1 n=%d w=%d: invariant violations: %v", n, w, rep.InvariantViolations)
-				}
+				rep := reps[idx]
+				idx++
 				t.AddRow(n, int(w), rep.ViableRounds, rep.ForcedRMRs(), len(rep.Survivors),
 					word.CeilLog(int(w), n), word.TheoreticalLowerBound(w, n))
 			}
@@ -157,29 +199,43 @@ func runE1(opts Options) ([]Table, error) {
 			"(the Anderson–Kim construction [1]); the forced cost grows with log n " +
 			"independent of w.",
 	}
-	for _, n := range ns {
+	repsB := make([]*adversary.Report, len(ns))
+	err = engine.ForEach(len(ns), opts.Parallel, func(i int) error {
+		n := ns[i]
 		rep, err := runAdversary(mutex.Config{
 			Procs: n, Width: 16, Model: sim.CC, Algorithm: yatree.New(),
-		}, 0)
+		}, 0, opts)
 		if err != nil {
-			return nil, fmt.Errorf("E1b n=%d: %w", n, err)
+			return fmt.Errorf("E1b n=%d: %w", n, err)
 		}
 		if len(rep.InvariantViolations) > 0 {
-			return nil, fmt.Errorf("E1b n=%d: %v", n, rep.InvariantViolations)
+			return fmt.Errorf("E1b n=%d: %v", n, rep.InvariantViolations)
 		}
+		repsB[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		rep := repsB[i]
 		rw.AddRow(n, rep.ViableRounds, rep.ForcedRMRs(), len(rep.Survivors), word.CeilLog(2, n))
 	}
 	tables = append(tables, rw)
 	return tables, nil
 }
 
-func runAdversary(cfg mutex.Config, k int) (*adversary.Report, error) {
+func runAdversary(cfg mutex.Config, k int, opts Options) (*adversary.Report, error) {
 	adv, err := adversary.New(adversary.Config{Session: cfg, K: k})
 	if err != nil {
 		return nil, err
 	}
 	defer adv.Close()
-	return adv.Run()
+	rep, err := adv.Run()
+	if err == nil && opts.Metrics != nil {
+		opts.Metrics.Add(1, rep.Steps, rep.ForcedRMRs())
+	}
+	return rep, err
 }
 
 // --- E2 ----------------------------------------------------------------------
@@ -199,37 +255,36 @@ func runE2(opts Options) ([]Table, error) {
 			"Θ(ceil(log_w n)) — decreasing in w, matching Theorem 1's lower bound for " +
 			"w ≥ (log n)^ε and meeting the O(1) Katzan–Morrison headline at w ≥ n.",
 	}
+	alg := watree.New()
+	type point struct {
+		n          int
+		w          word.Width
+		fan, depth int
+	}
+	var pts []point
+	var specs []engine.RunSpec
 	for _, n := range ns {
 		for _, w := range ws {
-			alg := watree.New()
 			fan := alg.Fanout(w, n)
-			depth := word.CeilLog(fan, n)
-			cc, dsm, err := measurePassages(mutex.Config{
+			pts = append(pts, point{n, w, fan, word.CeilLog(fan, n)})
+			specs = append(specs, engine.RunSpec{Session: mutex.Config{
 				Procs: n, Width: w, Model: sim.CC, Algorithm: alg, Passes: 2, NoTrace: true,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("E2 n=%d w=%d: %w", n, w, err)
-			}
-			perLevel := float64(cc)
-			if depth > 0 {
-				perLevel = float64(cc) / float64(depth)
-			}
-			t.AddRow(n, int(w), fan, depth, cc, dsm, perLevel, word.CeilLog(int(w), n))
+			}})
 		}
 	}
+	for i, r := range engine.Run(specs, opts.engineOpts()) {
+		pt := pts[i]
+		if r.Err != nil {
+			return nil, fmt.Errorf("E2 n=%d w=%d: %w", pt.n, pt.w, r.Err)
+		}
+		perLevel := float64(r.MaxRMRCC)
+		if pt.depth > 0 {
+			perLevel = float64(r.MaxRMRCC) / float64(pt.depth)
+		}
+		t.AddRow(pt.n, int(pt.w), pt.fan, pt.depth, r.MaxRMRCC, r.MaxRMRDSM, perLevel,
+			word.CeilLog(int(pt.w), pt.n))
+	}
 	return []Table{t}, nil
-}
-
-func measurePassages(cfg mutex.Config) (maxCC, maxDSM int, err error) {
-	s, err := mutex.NewSession(cfg)
-	if err != nil {
-		return 0, 0, err
-	}
-	defer s.Close()
-	if err := s.RunRoundRobin(); err != nil {
-		return 0, 0, err
-	}
-	return s.MaxPassageRMRs(sim.CC), s.MaxPassageRMRs(sim.DSM), nil
 }
 
 // --- E3 ----------------------------------------------------------------------
@@ -479,19 +534,28 @@ func runE6(opts Options) ([]Table, error) {
 	for _, n := range ns {
 		t.Header = append(t.Header, fmt.Sprintf("DSM n=%d", n))
 	}
+	var specs []engine.RunSpec
+	for _, e := range entries {
+		for _, n := range ns {
+			specs = append(specs, engine.RunSpec{Session: mutex.Config{
+				Procs: n, Width: 16, Model: sim.CC, Algorithm: e.alg, Passes: 2, NoTrace: true,
+			}})
+		}
+	}
+	results := engine.Run(specs, opts.engineOpts())
+	idx := 0
 	for _, e := range entries {
 		row := []interface{}{e.alg.Name(), e.class}
 		var dsmVals []interface{}
 		for _, n := range ns {
-			cc, dsm, err := measurePassages(mutex.Config{
-				Procs: n, Width: 16, Model: sim.CC, Algorithm: e.alg, Passes: 2, NoTrace: true,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("E6 %s n=%d: %w", e.alg.Name(), n, err)
+			r := results[idx]
+			idx++
+			if r.Err != nil {
+				return nil, fmt.Errorf("E6 %s n=%d: %w", e.alg.Name(), n, r.Err)
 			}
-			row = append(row, cc)
+			row = append(row, r.MaxRMRCC)
 			if e.dsmRow {
-				dsmVals = append(dsmVals, dsm)
+				dsmVals = append(dsmVals, r.MaxRMRDSM)
 			} else {
 				dsmVals = append(dsmVals, "-")
 			}
@@ -517,37 +581,36 @@ func runE7(opts Options) ([]Table, error) {
 			"collapses; against recoverable single-cell locks, the crash-recover-complete " +
 			"manoeuvre keeps a hidden process active.",
 	}
-	for _, tc := range []struct {
-		alg mutex.Algorithm
-	}{
-		{mcs.New()},
-		{rspin.New()},
-		{grlock.New()},
-		{watree.New(watree.WithFanout(2))},
-	} {
-		rep, err := runAdversaryK(mutex.Config{
-			Procs: n, Width: 16, Model: sim.CC, Algorithm: tc.alg,
-		}, 4)
+	algs := []mutex.Algorithm{
+		mcs.New(),
+		rspin.New(),
+		grlock.New(),
+		watree.New(watree.WithFanout(2)),
+	}
+	reps := make([]*adversary.Report, len(algs))
+	err := engine.ForEach(len(algs), opts.Parallel, func(i int) error {
+		rep, err := runAdversary(mutex.Config{
+			Procs: n, Width: 16, Model: sim.CC, Algorithm: algs[i],
+		}, 4, opts)
 		if err != nil {
-			return nil, fmt.Errorf("E7 %s: %w", tc.alg.Name(), err)
+			return fmt.Errorf("E7 %s: %w", algs[i].Name(), err)
 		}
+		reps[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, alg := range algs {
+		rep := reps[i]
 		kept := 0
 		for _, r := range rep.Rounds {
 			kept += r.HiddenKept
 		}
-		t.AddRow(tc.alg.Name(), tc.alg.Recoverable(), rep.HidingAttempts, kept,
+		t.AddRow(alg.Name(), alg.Recoverable(), rep.HidingAttempts, kept,
 			len(rep.Survivors), fmt.Sprint(rep.SurvivorRMRs))
 	}
 	return []Table{t}, nil
-}
-
-func runAdversaryK(cfg mutex.Config, k int) (*adversary.Report, error) {
-	adv, err := adversary.New(adversary.Config{Session: cfg, K: k})
-	if err != nil {
-		return nil, err
-	}
-	defer adv.Close()
-	return adv.Run()
 }
 
 // --- E8 ----------------------------------------------------------------------
@@ -564,22 +627,41 @@ func runE8(opts Options) ([]Table, error) {
 			"materialized); rollbacks = erasures rejected by the observable comparison " +
 			"(handled conservatively); violations must be zero.",
 	}
+	type point struct {
+		model sim.Model
+		n     int
+		alg   mutex.Algorithm
+	}
+	var pts []point
 	for _, model := range []sim.Model{sim.CC, sim.DSM} {
 		for _, n := range ns {
 			for _, alg := range []mutex.Algorithm{watree.New(), grlock.New()} {
-				rep, err := runAdversary(mutex.Config{
-					Procs: n, Width: 8, Model: model, Algorithm: alg,
-				}, 0)
-				if err != nil {
-					return nil, fmt.Errorf("E8 %s %s n=%d: %w", alg.Name(), model, n, err)
-				}
-				t.AddRow(alg.Name(), model.String(), n, 8, rep.Replays, rep.RemovalRollbacks,
-					len(rep.InvariantViolations))
-				if len(rep.InvariantViolations) > 0 {
-					return nil, fmt.Errorf("E8: %v", rep.InvariantViolations)
-				}
+				pts = append(pts, point{model, n, alg})
 			}
 		}
+	}
+	reps := make([]*adversary.Report, len(pts))
+	err := engine.ForEach(len(pts), opts.Parallel, func(i int) error {
+		pt := pts[i]
+		rep, err := runAdversary(mutex.Config{
+			Procs: pt.n, Width: 8, Model: pt.model, Algorithm: pt.alg,
+		}, 0, opts)
+		if err != nil {
+			return fmt.Errorf("E8 %s %s n=%d: %w", pt.alg.Name(), pt.model, pt.n, err)
+		}
+		if len(rep.InvariantViolations) > 0 {
+			return fmt.Errorf("E8: %v", rep.InvariantViolations)
+		}
+		reps[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range pts {
+		rep := reps[i]
+		t.AddRow(pt.alg.Name(), pt.model.String(), pt.n, 8, rep.Replays, rep.RemovalRollbacks,
+			len(rep.InvariantViolations))
 	}
 	return []Table{t}, nil
 }

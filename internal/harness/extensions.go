@@ -7,6 +7,7 @@ import (
 	"rme/internal/algorithms/grlock"
 	"rme/internal/algorithms/rspin"
 	"rme/internal/algorithms/watree"
+	"rme/internal/engine"
 	"rme/internal/mutex"
 	"rme/internal/sim"
 )
@@ -50,13 +51,28 @@ func runE9(opts Options) ([]Table, error) {
 			"full recovery storm.",
 	}
 	algs := []mutex.Algorithm{watree.New(), watree.New(watree.WithFanout(2)), grlock.New(), rspin.New()}
+	var specs []engine.RunSpec
+	for _, alg := range algs {
+		for _, wv := range waves {
+			specs = append(specs, engine.RunSpec{
+				Session: mutex.Config{
+					Procs: n, Width: 16, Model: sim.CC, Algorithm: alg, Passes: 2, NoTrace: true,
+				},
+				Drive: crashWaveDrive(n, wv, 99),
+			})
+		}
+	}
+	results := engine.Run(specs, opts.engineOpts())
+	idx := 0
 	for _, alg := range algs {
 		var base int
 		for _, wv := range waves {
-			total, maxP, violations, err := runWithCrashWaves(alg, n, wv, 99)
-			if err != nil {
-				return nil, fmt.Errorf("E9 %s waves=%d: %w", alg.Name(), wv, err)
+			r := results[idx]
+			idx++
+			if r.Err != nil {
+				return nil, fmt.Errorf("E9 %s waves=%d: %w", alg.Name(), wv, r.Err)
 			}
+			total := r.TotalRMRCC
 			if wv == 0 {
 				base = total
 			}
@@ -64,46 +80,43 @@ func runE9(opts Options) ([]Table, error) {
 			if wv > 0 {
 				overhead = fmt.Sprintf("%.1f", float64(total-base)/float64(wv))
 			}
-			t.AddRow(alg.Name(), wv, total, overhead, maxP, violations)
+			t.AddRow(alg.Name(), wv, total, overhead, r.MaxRMRCC, len(r.Violations))
 		}
 	}
 	return []Table{t}, nil
 }
 
-func runWithCrashWaves(alg mutex.Algorithm, n, waves int, seed int64) (totalRMRs, maxPassage int, violations int, err error) {
-	s, err := mutex.NewSession(mutex.Config{
-		Procs: n, Width: 16, Model: sim.CC, Algorithm: alg, Passes: 2, NoTrace: true,
-	})
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	defer s.Close()
-
-	rng := rand.New(rand.NewSource(seed))
-	m := s.Machine()
-	// Pick wave trigger points over a rough horizon of the crash-free length.
-	trigger := make(map[int]bool, waves)
-	for i := 0; i < waves; i++ {
-		trigger[1+rng.Intn(40*n)] = true
-	}
-	decision := 0
-	for !m.AllDone() {
-		poised := m.PoisedProcs()
-		if len(poised) == 0 {
-			return 0, 0, 0, mutex.ErrStuck
+// crashWaveDrive returns a deterministic drive that crashes every live
+// process at `waves` seeded points of an otherwise random run.
+func crashWaveDrive(n, waves int, seed int64) func(*mutex.Session) error {
+	return func(s *mutex.Session) error {
+		rng := rand.New(rand.NewSource(seed))
+		m := s.Machine()
+		// Pick wave trigger points over a rough horizon of the crash-free
+		// length.
+		trigger := make(map[int]bool, waves)
+		for i := 0; i < waves; i++ {
+			trigger[1+rng.Intn(40*n)] = true
 		}
-		if trigger[decision] {
-			if err := s.CrashAllProcs(); err != nil {
-				return 0, 0, 0, err
+		decision := 0
+		for !m.AllDone() {
+			poised := m.PoisedProcs()
+			if len(poised) == 0 {
+				return mutex.ErrStuck
 			}
-			delete(trigger, decision)
+			if trigger[decision] {
+				if err := s.CrashAllProcs(); err != nil {
+					return err
+				}
+				delete(trigger, decision)
+			}
+			if _, err := s.StepProc(poised[rng.Intn(len(poised))]); err != nil {
+				return err
+			}
+			decision++
 		}
-		if _, err := s.StepProc(poised[rng.Intn(len(poised))]); err != nil {
-			return 0, 0, 0, err
-		}
-		decision++
+		return nil
 	}
-	return s.TotalRMRs(sim.CC), s.MaxPassageRMRs(sim.CC), len(s.Violations()), nil
 }
 
 // runE10 contrasts worst-case and average RMRs per passage.
@@ -120,29 +133,43 @@ func runE10(opts Options) ([]Table, error) {
 			"average over a contended run: the gap between the columns is the room " +
 			"the paper's §4 identifies for constant-amortized RME [4].",
 	}
-	for _, alg := range []mutex.Algorithm{watree.New(), watree.New(watree.WithFanout(2)), grlock.New()} {
+	algs := []mutex.Algorithm{watree.New(), watree.New(watree.WithFanout(2)), grlock.New()}
+	type amortized struct {
+		maxP int
+		avg  float64
+	}
+	var specs []engine.RunSpec
+	for _, alg := range algs {
 		for _, n := range ns {
-			s, err := mutex.NewSession(mutex.Config{
-				Procs: n, Width: 8, Model: sim.CC, Algorithm: alg, Passes: passes, NoTrace: true,
+			specs = append(specs, engine.RunSpec{
+				Session: mutex.Config{
+					Procs: n, Width: 8, Model: sim.CC, Algorithm: alg, Passes: passes, NoTrace: true,
+				},
+				Collect: func(s *mutex.Session) (interface{}, error) {
+					stats := s.Stats()
+					total, maxP := 0, 0
+					for _, st := range stats {
+						total += st.RMRsCC
+						if st.RMRsCC > maxP {
+							maxP = st.RMRsCC
+						}
+					}
+					return amortized{maxP: maxP, avg: float64(total) / float64(len(stats))}, nil
+				},
 			})
-			if err != nil {
-				return nil, err
+		}
+	}
+	results := engine.Run(specs, opts.engineOpts())
+	idx := 0
+	for _, alg := range algs {
+		for _, n := range ns {
+			r := results[idx]
+			idx++
+			if r.Err != nil {
+				return nil, fmt.Errorf("E10 %s n=%d: %w", alg.Name(), n, r.Err)
 			}
-			if err := s.RunRoundRobin(); err != nil {
-				s.Close()
-				return nil, fmt.Errorf("E10 %s n=%d: %w", alg.Name(), n, err)
-			}
-			stats := s.Stats()
-			total, maxP := 0, 0
-			for _, st := range stats {
-				total += st.RMRsCC
-				if st.RMRsCC > maxP {
-					maxP = st.RMRsCC
-				}
-			}
-			avg := float64(total) / float64(len(stats))
-			t.AddRow(alg.Name(), n, maxP, avg, float64(maxP)/avg)
-			s.Close()
+			am := r.Payload.(amortized)
+			t.AddRow(alg.Name(), n, am.maxP, am.avg, float64(am.maxP)/am.avg)
 		}
 	}
 	return []Table{t}, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rme/internal/algorithms/clh"
+	"rme/internal/engine"
 	"rme/internal/algorithms/mcs"
 	"rme/internal/algorithms/qword"
 	"rme/internal/algorithms/tas"
@@ -59,6 +60,9 @@ func runE11(opts Options) ([]Table, error) {
 		{watree.New(), 16, "no FCFS (tree)"},
 		{tas.New(), 16, "no FCFS (race)"},
 	}
+	// One spec per (algorithm, seed); per-algorithm configs repeat across
+	// seeds, so each engine worker replays them on a recycled machine.
+	var specs []engine.RunSpec
 	for _, a := range algs {
 		// The queue word holds at most 64/ceil(log2(n+1)) entries; cap its
 		// process count so -full sweeps stay within a 64-bit word.
@@ -66,12 +70,31 @@ func runE11(opts Options) ([]Table, error) {
 		if a.alg.Name() == "qword" && an > 12 {
 			an = 12
 		}
+		for seed := 0; seed < seeds; seed++ {
+			an, seed := an, seed
+			specs = append(specs, engine.RunSpec{
+				Session: mutex.Config{
+					Procs: an, Width: word.Width(a.width), Model: sim.CC, Algorithm: a.alg,
+					Passes: 1, NoTrace: true,
+				},
+				Drive: func(s *mutex.Session) error {
+					return s.RunRandom(int64(seed), mutex.RandomRunOptions{})
+				},
+				Collect: func(s *mutex.Session) (interface{}, error) {
+					return inversionFraction(s, an)
+				},
+			})
+		}
+	}
+	results := engine.Run(specs, opts.engineOpts())
+	for ai, a := range algs {
 		sum, maxFrac := 0.0, 0.0
 		for seed := 0; seed < seeds; seed++ {
-			frac, err := inversionFraction(a.alg, an, a.width, int64(seed))
-			if err != nil {
-				return nil, fmt.Errorf("E11 %s seed %d: %w", a.alg.Name(), seed, err)
+			r := results[ai*seeds+seed]
+			if r.Err != nil {
+				return nil, fmt.Errorf("E11 %s seed %d: %w", a.alg.Name(), seed, r.Err)
 			}
+			frac := r.Payload.(float64)
 			sum += frac
 			if frac > maxFrac {
 				maxFrac = frac
@@ -82,18 +105,9 @@ func runE11(opts Options) ([]Table, error) {
 	return []Table{t}, nil
 }
 
-func inversionFraction(alg mutex.Algorithm, n, width int, seed int64) (float64, error) {
-	s, err := mutex.NewSession(mutex.Config{
-		Procs: n, Width: word.Width(width), Model: sim.CC, Algorithm: alg, Passes: 1, NoTrace: true,
-	})
-	if err != nil {
-		return 0, err
-	}
-	defer s.Close()
-	if err := s.RunRandom(seed, mutex.RandomRunOptions{}); err != nil {
-		return 0, err
-	}
-
+// inversionFraction computes the normalized Kendall-tau distance between
+// arrival order and CS grant order on a completed session.
+func inversionFraction(s *mutex.Session, n int) (float64, error) {
 	// Arrival order: first action per process in the schedule.
 	arrivalRank := make(map[int]int, n)
 	for _, act := range s.Machine().Schedule() {

@@ -136,6 +136,55 @@ func NewSession(cfg Config) (*Session, error) {
 // Machine exposes the underlying simulator (for adversaries and checkers).
 func (s *Session) Machine() *sim.Machine { return s.mach }
 
+// Reset returns the session to its initial state without reallocating: the
+// machine's cells revert to their initial values (sim.Machine.Reset), the
+// algorithm instance is reused (its mutable state lives entirely in cells,
+// per the Handle crash contract), the safety monitors clear, and the driver
+// bodies restart poised at their first entry step. A reset session is
+// observationally identical to a fresh NewSession with the same Config —
+// the engine's worker pool and the replay-heavy consumers (model checker,
+// adversary erasure verification) rely on this to avoid per-run machine
+// construction.
+func (s *Session) Reset() error {
+	s.mach.Reset()
+	s.csOwner = -1
+	s.csOrder = s.csOrder[:0]
+	s.errs = nil
+	programs := make([]sim.Program, s.cfg.Procs)
+	for i, b := range s.bodies {
+		b.reset()
+		programs[i] = b
+	}
+	if err := s.mach.Start(programs); err != nil {
+		return err
+	}
+	for i := range s.lastTags {
+		s.lastTags[i] = s.mach.Tag(i)
+	}
+	return nil
+}
+
+// Compatible reports whether a session built for a can be reused via Reset
+// to run b: every configuration field must match. The algorithm comparison
+// is by interface equality, guarded because algorithm values are not
+// required to be comparable.
+func Compatible(a, b Config) bool {
+	a, b = a.withDefaults(), b.withDefaults()
+	return a.Procs == b.Procs && a.Width == b.Width && a.Model == b.Model &&
+		a.Passes == b.Passes && a.ExtraCSSteps == b.ExtraCSSteps &&
+		a.NoTrace == b.NoTrace && a.MaxSteps == b.MaxSteps &&
+		sameAlgorithm(a.Algorithm, b.Algorithm)
+}
+
+func sameAlgorithm(a, b Algorithm) (eq bool) {
+	defer func() {
+		if recover() != nil {
+			eq = false
+		}
+	}()
+	return a == b
+}
+
 // Config returns the session configuration (with defaults applied).
 func (s *Session) Config() Config { return s.cfg }
 
@@ -376,6 +425,20 @@ type driverBody struct {
 }
 
 var _ sim.Program = (*driverBody)(nil)
+
+// reset clears the body for a session Reset, keeping the stats buffer's
+// capacity. The handle is re-bound in Run.
+func (b *driverBody) reset() {
+	b.p = nil
+	b.handle = nil
+	b.completed = 0
+	b.inSuper = false
+	b.stats = b.stats[:0]
+	b.passOpen = false
+	b.startCC = 0
+	b.startDSM = 0
+	b.startSteps = 0
+}
 
 // Run executes the process's super-passages from the initial state.
 func (b *driverBody) Run(p *sim.Proc) {

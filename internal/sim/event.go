@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"rme/internal/memory"
@@ -139,13 +140,20 @@ func (s Schedule) Restrict(keep func(proc int) bool) Schedule {
 	return out
 }
 
-// Procs returns the set of processes with at least one action in s (the
-// paper's P(σ)).
-func (s Schedule) Procs() map[int]bool {
-	ps := make(map[int]bool)
+// Procs returns the processes with at least one action in s (the paper's
+// P(σ)), sorted ascending. The sorted slice — rather than a map — keeps
+// every call site deterministic: iterating the result never depends on map
+// iteration order, so replays and rendered tables are stable.
+func (s Schedule) Procs() []int {
+	seen := make(map[int]bool, 8)
+	var ps []int
 	for _, a := range s {
-		ps[a.Proc] = true
+		if !seen[a.Proc] {
+			seen[a.Proc] = true
+			ps = append(ps, a.Proc)
+		}
 	}
+	sort.Ints(ps)
 	return ps
 }
 

@@ -84,6 +84,12 @@ type Machine struct {
 	seq      int
 	started  bool
 	closed   bool
+	// sealed marks that the machine has been through a full construction
+	// (Start or Reset); allocation is closed from then on, so that a reset
+	// machine always replays the exact construction of a fresh one.
+	sealed bool
+	// wakeScratch is a reused buffer for watcher snapshots in resolveWakes.
+	wakeScratch []int
 }
 
 var _ memory.Allocator = (*Machine)(nil)
@@ -125,7 +131,7 @@ func (m *Machine) Width() word.Width { return m.cfg.Width }
 // misuse because allocation happens during deterministic single-threaded
 // setup where errors are programming mistakes, not runtime conditions.
 func (m *Machine) NewCell(label string, owner int, init word.Word) memory.Cell {
-	if m.started {
+	if m.started || m.sealed {
 		panic("sim: NewCell after Start")
 	}
 	if owner != memory.Shared && (owner < 0 || owner >= m.cfg.Procs) {
@@ -141,10 +147,10 @@ func (m *Machine) NewCell(label string, owner int, init word.Word) memory.Cell {
 		label:        label,
 		init:         init,
 		val:          init,
-		cached:       make([]bool, m.cfg.Procs),
-		accessed:     make([]bool, m.cfg.Procs),
+		cached:       word.NewBitset(m.cfg.Procs),
+		accessed:     word.NewBitset(m.cfg.Procs),
 		lastAccessor: -1,
-		watchers:     make(map[int]struct{}),
+		watchers:     word.NewBitset(m.cfg.Procs),
 	}
 	m.cells = append(m.cells, c)
 	return c
@@ -152,7 +158,8 @@ func (m *Machine) NewCell(label string, owner int, init word.Word) memory.Cell {
 
 // Start launches one process per program. Processes are started one at a
 // time and each is run until its first shared-memory step (or completion),
-// so bodies never execute concurrently.
+// so bodies never execute concurrently. After a Reset, Start reuses the
+// existing process structures and gate channels instead of allocating.
 func (m *Machine) Start(programs []Program) error {
 	if m.started {
 		return ErrStarted
@@ -161,16 +168,59 @@ func (m *Machine) Start(programs []Program) error {
 		return fmt.Errorf("sim: got %d programs for %d processes", len(programs), m.cfg.Procs)
 	}
 	m.started = true
-	m.procs = make([]*Proc, m.cfg.Procs)
+	m.sealed = true
+	if m.procs == nil {
+		m.procs = make([]*Proc, m.cfg.Procs)
+		for i := range m.procs {
+			m.procs[i] = newProc(m, i)
+		}
+	}
 	for i, prog := range programs {
-		p := newProc(m, i, prog)
-		m.procs[i] = p
+		p := m.procs[i]
+		p.reset(prog)
 		p.launch()
 		if err := m.waitQuiescent(p); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// Reset returns the machine to its post-construction, pre-Start state
+// without allocating: every cell reverts to its initial value with empty
+// cache/accessor/watcher sets, the trace and schedule buffers are truncated
+// in place, all counters clear, and process structures are retained for the
+// next Start. Live process goroutines are terminated first (as in Close),
+// so Reset is legal at any point, including mid-run and after Close.
+//
+// Equivalence guarantee: a machine that is Reset and re-Started with an
+// identical construction replays byte-identical traces, schedules, and
+// CC/DSM RMR counters versus a fresh machine driven the same way (see
+// TestResetEquivalence). Allocation stays sealed: NewCell after Reset
+// panics, because new cells would break that guarantee.
+func (m *Machine) Reset() {
+	if m.started && !m.closed {
+		for _, pr := range m.procs {
+			if pr.done {
+				continue
+			}
+			pr.resumeCh <- verdict{kill: true}
+			<-pr.doneCh
+			pr.done = true
+		}
+	}
+	m.started = false
+	m.closed = false
+	for _, c := range m.cells {
+		c.val = c.init
+		c.cached.ClearAll()
+		c.accessed.ClearAll()
+		c.watchers.ClearAll()
+		c.lastAccessor = -1
+	}
+	m.trace = m.trace[:0]
+	m.schedule = m.schedule[:0]
+	m.seq = 0
 }
 
 // waitQuiescent blocks until p has announced its next step or finished.
@@ -209,11 +259,11 @@ func (m *Machine) registerWait(p *Proc) bool {
 		// A real spin loop starts by reading each location once: charge a
 		// cache miss for copies the process does not hold, and a DSM RMR for
 		// remote cells.
-		missCC := !c.cached[p.id]
+		missCC := !c.cached.Test(p.id)
 		remote := c.owner != p.id
 		if missCC {
 			p.rmrCC++
-			c.cached[p.id] = true
+			c.cached.Set(p.id)
 		}
 		if remote {
 			p.rmrDSM++
@@ -231,7 +281,7 @@ func (m *Machine) registerWait(p *Proc) bool {
 	}
 	p.parked = true
 	for _, c := range req.multi {
-		c.watchers[p.id] = struct{}{}
+		c.watchers.Set(p.id)
 	}
 	return false
 }
@@ -280,14 +330,14 @@ func (m *Machine) Step(p int) (Event, error) {
 	if req.spin != nil && !req.spin(ev.Ret) {
 		// Park: keep the pending request, wait for the cell to change.
 		pr.parked = true
-		req.cell.watchers[p] = struct{}{}
+		req.cell.watchers.Set(p)
 		ev.Parked = true
 		m.record(ev)
 		return ev, nil
 	}
 
 	pr.parked = false
-	delete(req.cell.watchers, p)
+	req.cell.watchers.Clear(p)
 	pr.pending = nil
 	m.record(ev)
 
@@ -310,12 +360,12 @@ func (m *Machine) Step(p int) (Event, error) {
 // resolveWakes rechecks every multi-cell waiter watching c after a non-read
 // operation touched it. Each recheck is charged like the cache-miss re-read
 // it models; satisfied waiters resume and run to their next announcement.
+// The watcher set is snapshotted into a reused buffer because satisfied
+// waiters unregister themselves mid-iteration; bitset order is ascending by
+// construction, so process-id-order determinism needs no sort.
 func (m *Machine) resolveWakes(c *simCell) error {
-	ids := make([]int, 0, len(c.watchers))
-	for q := range c.watchers {
-		ids = append(ids, q)
-	}
-	sortInts(ids)
+	ids := c.watchers.AppendTo(m.wakeScratch[:0])
+	m.wakeScratch = ids
 	for _, q := range ids {
 		qr := m.procs[q]
 		if qr.pending == nil || !qr.pending.isWait() {
@@ -323,7 +373,7 @@ func (m *Machine) resolveWakes(c *simCell) error {
 		}
 		// Phantom recheck: the touch invalidated q's copy of c.
 		qr.rmrCC++
-		c.cached[q] = true
+		c.cached.Set(q)
 		remote := c.owner != q
 		if remote {
 			qr.rmrDSM++
@@ -343,7 +393,7 @@ func (m *Machine) resolveWakes(c *simCell) error {
 			continue
 		}
 		for _, wc := range qr.pending.multi {
-			delete(wc.watchers, q)
+			wc.watchers.Clear(q)
 		}
 		qr.pending = nil
 		qr.parked = false
@@ -355,16 +405,6 @@ func (m *Machine) resolveWakes(c *simCell) error {
 	return nil
 }
 
-// sortInts sorts a small slice ascending (insertion sort; watcher sets are
-// tiny and this avoids pulling sort into the hot path).
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j-1] > a[j]; j-- {
-			a[j-1], a[j] = a[j], a[j-1]
-		}
-	}
-}
-
 // applyStep mutates memory, maintains cache/ownership metadata and both RMR
 // counters, and builds the trace event (not yet recorded).
 func (m *Machine) applyStep(pr *Proc, req *stepReq) Event {
@@ -373,31 +413,29 @@ func (m *Machine) applyStep(pr *Proc, req *stepReq) Event {
 	isRead := op.IsRead()
 
 	rmrDSM := c.owner != pr.id
-	rmrCC := !isRead || !c.cached[pr.id]
+	rmrCC := !isRead || !c.cached.Test(pr.id)
 
 	before := c.val
 	next, ret := memory.Apply(op, c.val, m.cfg.Width)
 	c.val = next
 
 	if isRead {
-		c.cached[pr.id] = true
+		c.cached.Set(pr.id)
 	} else {
 		// Any non-read operation invalidates every cache copy (paper §2) and
 		// wakes single-cell spinners parked on this cell (multi-cell waiters
 		// are rechecked by resolveWakes).
-		for i := range c.cached {
-			c.cached[i] = false
-		}
-		for q := range c.watchers {
+		c.cached.ClearAll()
+		c.watchers.ForEach(func(q int) {
 			if wp := m.procs[q].pending; wp != nil && !wp.isWait() {
 				m.procs[q].parked = false
 			}
-		}
+		})
 		// Watcher entries stay until the watcher is next stepped or resumed;
 		// parked=false is what marks it poised.
 	}
 	c.lastAccessor = pr.id
-	c.accessed[pr.id] = true
+	c.accessed.Set(pr.id)
 
 	if rmrCC {
 		pr.rmrCC++
@@ -438,10 +476,10 @@ func (m *Machine) Crash(p int) (Event, error) {
 	}
 	if pr.pending.isWait() {
 		for _, wc := range pr.pending.multi {
-			delete(wc.watchers, p)
+			wc.watchers.Clear(p)
 		}
 	} else if pr.parked {
-		delete(pr.pending.cell.watchers, p)
+		pr.pending.cell.watchers.Clear(p)
 	}
 	pr.parked = false
 	pr.pending = nil
@@ -576,7 +614,7 @@ func (m *Machine) WouldRMR(p int) bool {
 	if m.cfg.Model == DSM {
 		return c.owner != p
 	}
-	return !pr.pending.op.IsRead() || !c.cached[p]
+	return !pr.pending.op.IsRead() || !c.cached.Test(p)
 }
 
 // RMRs returns the number of RMRs p has incurred under the configured model.
@@ -633,24 +671,17 @@ func (m *Machine) LastAccessor(c memory.Cell) int { return m.own(c).lastAccessor
 // Accessors returns the processes that have ever performed an operation on
 // the cell, ascending.
 func (m *Machine) Accessors(c memory.Cell) []int {
-	sc := m.own(c)
-	var out []int
-	for i, a := range sc.accessed {
-		if a {
-			out = append(out, i)
-		}
-	}
-	return out
+	return m.own(c).accessed.AppendTo(nil)
 }
 
 // HasCache reports whether p holds a valid cache copy of c (CC model state).
-func (m *Machine) HasCache(p int, c memory.Cell) bool { return m.own(c).cached[p] }
+func (m *Machine) HasCache(p int, c memory.Cell) bool { return m.own(c).cached.Test(p) }
 
 // CachedCells returns the ids of cells p holds valid cache copies of.
 func (m *Machine) CachedCells(p int) []int {
 	var out []int
 	for _, c := range m.cells {
-		if c.cached[p] {
+		if c.cached.Test(p) {
 			out = append(out, c.id)
 		}
 	}
@@ -666,7 +697,10 @@ func (m *Machine) own(c memory.Cell) *simCell {
 	return sc
 }
 
-// simCell is a base object plus the metadata both cost models need.
+// simCell is a base object plus the metadata both cost models need. The
+// process sets are bitsets so that the invalidate-all of a non-read step and
+// the reset between pooled runs are short memclrs rather than per-process
+// loops, and watcher iteration is deterministic without sorting.
 type simCell struct {
 	m            *Machine
 	id           int
@@ -674,10 +708,10 @@ type simCell struct {
 	label        string
 	init         word.Word
 	val          word.Word
-	cached       []bool
-	accessed     []bool
+	cached       word.Bitset
+	accessed     word.Bitset
 	lastAccessor int
-	watchers     map[int]struct{}
+	watchers     word.Bitset
 }
 
 var _ memory.Cell = (*simCell)(nil)

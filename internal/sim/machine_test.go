@@ -455,8 +455,8 @@ func TestScheduleRestrict(t *testing.T) {
 		t.Errorf("Restrict = %q, want %q", got, want)
 	}
 	ps := s.Procs()
-	if len(ps) != 3 {
-		t.Errorf("Procs = %v", ps)
+	if len(ps) != 3 || ps[0] != 0 || ps[1] != 1 || ps[2] != 2 {
+		t.Errorf("Procs = %v, want [0 1 2]", ps)
 	}
 }
 

@@ -70,15 +70,32 @@ var (
 	errKilled  = errors.New("sim: killed")
 )
 
-func newProc(m *Machine, id int, program Program) *Proc {
+func newProc(m *Machine, id int) *Proc {
 	return &Proc{
 		id:        id,
 		m:         m,
-		program:   program,
 		pendingCh: make(chan stepReq),
 		resumeCh:  make(chan verdict),
-		doneCh:    make(chan struct{}),
 	}
+}
+
+// reset prepares the process for a (re-)launch: the program is installed,
+// all controller-side state and counters clear, and a fresh doneCh is made
+// (the previous one, if any, was closed when the body goroutine exited).
+// The unbuffered gate channels are reused: after kill/finish the body
+// goroutine holds neither, so they are guaranteed empty.
+func (p *Proc) reset(program Program) {
+	p.program = program
+	p.doneCh = make(chan struct{})
+	p.pending = nil
+	p.parked = false
+	p.done = false
+	p.err = nil
+	p.crashes = 0
+	p.steps = 0
+	p.rmrCC = 0
+	p.rmrDSM = 0
+	p.tag = 0
 }
 
 // launch starts the body goroutine. The controller must waitQuiescent

@@ -45,6 +45,7 @@ import (
 	"rme/internal/algorithms/watree"
 	"rme/internal/algorithms/yatree"
 	"rme/internal/check"
+	"rme/internal/engine"
 	"rme/internal/harness"
 	"rme/internal/hiding"
 	"rme/internal/hypergraph"
@@ -93,6 +94,17 @@ type (
 	// CheckResult is a checker outcome.
 	CheckResult = check.Result
 
+	// RunSpec describes one simulation run for the execution engine.
+	RunSpec = engine.RunSpec
+	// RunResult is the engine's per-spec outcome, in submission order.
+	RunResult = engine.Result
+	// RunOptions tunes an engine batch (parallelism, metrics).
+	RunOptions = engine.Options
+	// Worker recycles simulated machines across runs (reset-reuse).
+	Worker = engine.Worker
+	// EngineMetrics accumulates run statistics across engine launches.
+	EngineMetrics = engine.Metrics
+
 	// Experiment is one of the paper-claim reproductions E1–E8 or the
 	// §4-discussion extensions E9–E12.
 	Experiment = harness.Experiment
@@ -131,6 +143,15 @@ func Exhaustive(cfg CheckConfig) (*CheckResult, error) { return check.Exhaustive
 func Stress(cfg CheckConfig, seeds int, crashProb float64) (*CheckResult, error) {
 	return check.Stress(cfg, seeds, crashProb)
 }
+
+// Run executes a batch of RunSpecs on the engine's deterministic worker
+// pool: one recycled machine per worker, results merged in submission order
+// regardless of completion order, so output is identical at any parallelism.
+func Run(specs []RunSpec, opts RunOptions) []RunResult { return engine.Run(specs, opts) }
+
+// NewWorker returns an engine worker that recycles one simulated machine
+// across compatible session requests.
+func NewWorker() *Worker { return engine.NewWorker() }
 
 // Experiments returns the paper-claim reproductions E1–E8 followed by the
 // extension experiments E9–E12.
