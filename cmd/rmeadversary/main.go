@@ -70,6 +70,7 @@ func run(args []string) error {
 	k := fs.Int("k", 0, "high-contention threshold (0 = w^2)")
 	sweep := fs.String("sweep", "", "comma-separated n values; runs one construction per n and prints a summary table")
 	parallel := fs.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS); summary rows are identical at any value")
+	seed := fs.Int64("seed", 0, "accepted for CLI uniformity; the construction is deterministic and ignores it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,6 +84,9 @@ func run(args []string) error {
 		model = sim.DSM
 	}
 
+	if *seed != 0 {
+		fmt.Fprintln(os.Stderr, "note: the adversary construction is fully deterministic; -seed has no effect")
+	}
 	if *sweep != "" {
 		return runSweep(alg, *sweep, *w, model, *k, *parallel)
 	}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// captureStdout runs fn with stdout redirected to a pipe and returns what it
+// wrote. Stderr (timings, notes) is silenced: the contract under test is
+// that *stdout* is byte-identical across -parallel values.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, wr, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldOut, oldErr := os.Stdout, os.Stderr
+	os.Stdout, os.Stderr = wr, devnull
+	defer func() {
+		os.Stdout, os.Stderr = oldOut, oldErr
+		devnull.Close()
+	}()
+	done := make(chan string, 1)
+	go func() {
+		blob, _ := io.ReadAll(r)
+		done <- string(blob)
+	}()
+	runErr := fn()
+	wr.Close()
+	out := <-done
+	r.Close()
+	return out, runErr
+}
+
+// TestStdoutParityAcrossParallelism locks in byte-identical stdout at any
+// -parallel value: the exhaustive DFS is sequential and the stress results
+// are merged in seed order, so only timings (on stderr) may vary.
+func TestStdoutParityAcrossParallelism(t *testing.T) {
+	args := []string{"-alg", "rspin", "-n", "2", "-w", "8", "-crashes", "1", "-max", "20000", "-stress", "100"}
+	one, err := captureStdout(t, func() error { return run(append([]string{"-parallel", "1"}, args...)) })
+	if err != nil {
+		t.Fatalf("-parallel 1: %v", err)
+	}
+	eight, err := captureStdout(t, func() error { return run(append([]string{"-parallel", "8"}, args...)) })
+	if err != nil {
+		t.Fatalf("-parallel 8: %v", err)
+	}
+	if one != eight {
+		t.Fatalf("stdout differs between -parallel 1 and 8:\n--- parallel 1 ---\n%s\n--- parallel 8 ---\n%s", one, eight)
+	}
+	if len(one) == 0 {
+		t.Fatal("no output captured")
+	}
+}

@@ -1,0 +1,238 @@
+// Command rmefault runs a deterministic fault-injection campaign against a
+// mutual exclusion algorithm: systematic and seeded-random crash placement,
+// invariant oracles (mutual exclusion, deadlock-freedom, CS re-entry, RMR
+// budgets) on every run, and delta-debugged minimal reproducers for every
+// failure. The whole campaign is a pure function of its flags and -seed, so
+// output is byte-identical at any -parallel.
+//
+// Usage:
+//
+//	rmefault [-alg watree] [-n 3] [-w 8] [-model cc] [-passes 1] [-seed 1]
+//	         [-sources single,rmr,parked,system,double,random] [-runs 48]
+//	         [-budget 0] [-bound 0] [-parallel N] [-failfast] [-noshrink] [-json]
+//
+// The special algorithm "broken" is an intentionally crash-unsafe lock for
+// demonstrating the campaign pipeline end to end.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rme/internal/algorithms/clh"
+	"rme/internal/algorithms/grlock"
+	"rme/internal/algorithms/mcs"
+	"rme/internal/algorithms/qword"
+	"rme/internal/algorithms/rspin"
+	"rme/internal/algorithms/tas"
+	"rme/internal/algorithms/ticket"
+	"rme/internal/algorithms/tournament"
+	"rme/internal/algorithms/watree"
+	"rme/internal/algorithms/yatree"
+	"rme/internal/faults"
+	"rme/internal/mutex"
+	"rme/internal/sim"
+	"rme/internal/word"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rmefault:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rmefault", flag.ContinueOnError)
+	algName := fs.String("alg", "watree", "algorithm: tas, ticket, mcs, clh, tournament, yatree, grlock, rspin, qword, watree, watree2, broken")
+	n := fs.Int("n", 3, "number of processes")
+	w := fs.Int("w", 8, "word size in bits")
+	modelName := fs.String("model", "cc", "cost model: cc or dsm")
+	passes := fs.Int("passes", 1, "super-passages per process")
+	seed := fs.Int64("seed", 1, "campaign base seed (threaded into every random source)")
+	sourcesFlag := fs.String("sources", "", "comma-separated campaign axes: single, double, rmr, parked, system, random (default: all valid for the algorithm)")
+	runs := fs.Int("runs", 48, "runs on the seeded-random axis")
+	budget := fs.Int("budget", 0, "per-passage RMR ceiling for both models (0 = algorithm default, -1 = disable)")
+	bound := fs.Int("bound", 0, "scheduler decision bound per run (0 = derive from the probe)")
+	parallel := fs.Int("parallel", 0, "campaign workers (0 = GOMAXPROCS); reports are identical at any value")
+	failFast := fs.Bool("failfast", false, "stop launching runs after the first failure (faster, non-deterministic report)")
+	noShrink := fs.Bool("noshrink", false, "report full failing schedules instead of minimized reproducers")
+	jsonOut := fs.Bool("json", false, "emit the campaign report as JSON on stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	algs := map[string]mutex.Algorithm{
+		"tas": tas.New(), "ticket": ticket.New(), "mcs": mcs.New(), "clh": clh.New(),
+		"tournament": tournament.New(), "yatree": yatree.New(), "grlock": grlock.New(),
+		"rspin": rspin.New(), "watree": watree.New(), "watree2": watree.New(watree.WithFanout(2)),
+		"qword": qword.New(), "broken": faults.NewBroken(),
+	}
+	alg, ok := algs[strings.ToLower(*algName)]
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q", *algName)
+	}
+	model := sim.CC
+	if strings.EqualFold(*modelName, "dsm") {
+		model = sim.DSM
+	}
+
+	sources, err := buildSources(*sourcesFlag, alg.Recoverable(), *seed, *runs)
+	if err != nil {
+		return err
+	}
+	var oracles []faults.Oracle
+	if *budget != 0 {
+		oracles = []faults.Oracle{faults.MutualExclusion{}, faults.DeadlockFree{}, faults.Reentry{}}
+		if *budget > 0 {
+			oracles = append(oracles, faults.RMRBudget{CC: *budget, DSM: *budget})
+		}
+	}
+
+	c := faults.Campaign{
+		Session: mutex.Config{
+			Procs: *n, Width: word.Width(*w), Model: model, Algorithm: alg, Passes: *passes,
+		},
+		Sources:  sources,
+		Oracles:  oracles,
+		Seed:     *seed,
+		Parallel: *parallel,
+		Bound:    *bound,
+		NoShrink: *noShrink,
+		FailFast: *failFast,
+	}
+	start := time.Now()
+	rep, err := c.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "campaign: %d runs in %v\n", rep.Runs, time.Since(start).Round(time.Millisecond))
+
+	if *jsonOut {
+		return emitJSON(rep, model)
+	}
+	fmt.Printf("campaign: %s n=%d w=%d model=%s passes=%d seed=%d\n",
+		rep.Algorithm, *n, *w, model, *passes, rep.Seed)
+	fmt.Printf("probe: %d decisions, %d RMR-incurring; bound %d\n",
+		rep.Probe.Steps, len(rep.Probe.RMRAt), rep.Bound)
+	for _, st := range rep.Sources {
+		fmt.Printf("  %-18s %5d runs  %d failures\n", st.Name, st.Runs, st.Failures)
+	}
+	if rep.Skipped > 0 {
+		fmt.Printf("  (%d runs skipped by -failfast)\n", rep.Skipped)
+	}
+	for _, f := range rep.Failures {
+		fmt.Printf("FAIL %s\n", f)
+	}
+	if !rep.Ok() {
+		return fmt.Errorf("%d of %d runs failed", len(rep.Failures), rep.Runs)
+	}
+	fmt.Println("OK")
+	return nil
+}
+
+// buildSources resolves the -sources flag. An empty spec selects every axis
+// that is valid for the algorithm's recoverability.
+func buildSources(spec string, recoverable bool, seed int64, runs int) ([]faults.Source, error) {
+	maxCrashes := 3
+	if !recoverable {
+		maxCrashes = 0
+	}
+	byName := map[string]faults.Source{
+		"single": faults.ExhaustiveCrashes{Crashes: 1},
+		"double": faults.ExhaustiveCrashes{Crashes: 2},
+		"rmr":    faults.RMRTargeted{},
+		"parked": faults.ParkedCrashes{},
+		"system": faults.SystemWideCrashes{},
+		"random": faults.RandomCrashes{Runs: runs, MaxCrashes: maxCrashes, Seed: seed},
+	}
+	if spec == "" {
+		if !recoverable {
+			return []faults.Source{byName["random"]}, nil
+		}
+		return []faults.Source{
+			byName["single"], byName["rmr"], byName["parked"],
+			byName["system"], byName["double"], byName["random"],
+		}, nil
+	}
+	var out []faults.Source
+	for _, name := range strings.Split(spec, ",") {
+		src, ok := byName[strings.TrimSpace(strings.ToLower(name))]
+		if !ok {
+			return nil, fmt.Errorf("unknown source %q (want single, double, rmr, parked, system, random)", name)
+		}
+		out = append(out, src)
+	}
+	return out, nil
+}
+
+// jsonFailure is the stable machine-readable failure view: schedules render
+// as strings that round-trip through sim.ParseSchedule.
+type jsonFailure struct {
+	Source        string      `json:"source"`
+	Oracle        string      `json:"oracle"`
+	Detail        string      `json:"detail"`
+	Plan          faults.Plan `json:"plan"`
+	Schedule      string      `json:"schedule"`
+	Shrunk        string      `json:"shrunk"`
+	ShrinkReplays int         `json:"shrink_replays,omitempty"`
+}
+
+type jsonReport struct {
+	Algorithm string              `json:"algorithm"`
+	Procs     int                 `json:"n"`
+	Width     int                 `json:"w"`
+	Model     string              `json:"model"`
+	Passes    int                 `json:"passes"`
+	Seed      int64               `json:"seed"`
+	Bound     int                 `json:"bound"`
+	ProbeLen  int                 `json:"probe_steps"`
+	ProbeRMRs int                 `json:"probe_rmr_steps"`
+	Runs      int                 `json:"runs"`
+	Skipped   int                 `json:"skipped,omitempty"`
+	Ok        bool                `json:"ok"`
+	Sources   []faults.SourceStat `json:"sources"`
+	Failures  []jsonFailure       `json:"failures,omitempty"`
+}
+
+func emitJSON(rep *faults.Report, model sim.Model) error {
+	out := jsonReport{
+		Algorithm: rep.Algorithm,
+		Procs:     rep.Cfg.Procs,
+		Width:     int(rep.Cfg.Width),
+		Model:     model.String(),
+		Passes:    rep.Cfg.Passes,
+		Seed:      rep.Seed,
+		Bound:     rep.Bound,
+		ProbeLen:  rep.Probe.Steps,
+		ProbeRMRs: len(rep.Probe.RMRAt),
+		Runs:      rep.Runs,
+		Skipped:   rep.Skipped,
+		Ok:        rep.Ok(),
+		Sources:   rep.Sources,
+	}
+	for _, f := range rep.Failures {
+		out.Failures = append(out.Failures, jsonFailure{
+			Source:        f.Source,
+			Oracle:        f.Oracle,
+			Detail:        f.Detail,
+			Plan:          f.Plan,
+			Schedule:      f.Schedule.String(),
+			Shrunk:        f.Shrunk.String(),
+			ShrinkReplays: f.ShrinkReplays,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	if !out.Ok {
+		return fmt.Errorf("%d of %d runs failed", len(rep.Failures), rep.Runs)
+	}
+	return nil
+}

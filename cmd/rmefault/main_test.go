@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"testing"
+)
+
+// captureStdout runs fn with stdout redirected to a pipe and returns what it
+// wrote. Stderr (timings, notes) is silenced: the contract under test is
+// that *stdout* is byte-identical across -parallel values.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, wr, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldOut, oldErr := os.Stdout, os.Stderr
+	os.Stdout, os.Stderr = wr, devnull
+	defer func() {
+		os.Stdout, os.Stderr = oldOut, oldErr
+		devnull.Close()
+	}()
+	done := make(chan string, 1)
+	go func() {
+		blob, _ := io.ReadAll(r)
+		done <- string(blob)
+	}()
+	runErr := fn()
+	wr.Close()
+	out := <-done
+	r.Close()
+	return out, runErr
+}
+
+// TestStdoutParityAcrossParallelism locks in the campaign determinism
+// guarantee end to end: the full report — including failure reproducers and
+// shrunk schedules — is byte-identical at any -parallel value.
+func TestStdoutParityAcrossParallelism(t *testing.T) {
+	args := []string{"-alg", "broken", "-n", "2", "-seed", "7"}
+	one, errOne := captureStdout(t, func() error { return run(append([]string{"-parallel", "1"}, args...)) })
+	eight, errEight := captureStdout(t, func() error { return run(append([]string{"-parallel", "8"}, args...)) })
+	if errOne == nil || errEight == nil {
+		t.Fatal("the broken algorithm campaign must exit with an error")
+	}
+	if one != eight {
+		t.Fatalf("stdout differs between -parallel 1 and 8:\n--- parallel 1 ---\n%s\n--- parallel 8 ---\n%s", one, eight)
+	}
+	if len(one) == 0 {
+		t.Fatal("no output captured")
+	}
+}
+
+// TestJSONReportMachineReadable checks the -json report parses and carries
+// the failure reproducers.
+func TestJSONReportMachineReadable(t *testing.T) {
+	out, runErr := captureStdout(t, func() error {
+		return run([]string{"-alg", "broken", "-n", "2", "-seed", "7", "-json"})
+	})
+	if runErr == nil {
+		t.Fatal("the broken algorithm campaign must exit with an error")
+	}
+	var rep struct {
+		Algorithm string `json:"algorithm"`
+		Ok        bool   `json:"ok"`
+		Runs      int    `json:"runs"`
+		Failures  []struct {
+			Oracle string `json:"oracle"`
+			Shrunk string `json:"shrunk"`
+		} `json:"failures"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if rep.Algorithm != "broken-tas" || rep.Ok || rep.Runs == 0 || len(rep.Failures) == 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if rep.Failures[0].Shrunk == "" {
+		t.Fatal("failure carries no shrunk reproducer")
+	}
+}

@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	rmrbench [-full] [-only E2,E5] [-parallel N] [-json BENCH_results.json]
+//	rmrbench [-full] [-only E2,E5] [-seed S] [-parallel N] [-json BENCH_results.json]
 package main
 
 import (
@@ -46,6 +46,7 @@ type experimentRecord struct {
 type benchReport struct {
 	Full        bool               `json:"full"`
 	Parallel    int                `json:"parallel"`
+	Seed        int64              `json:"seed"`
 	TotalWallMS float64            `json:"total_wall_ms"`
 	Experiments []experimentRecord `json:"experiments"`
 }
@@ -56,6 +57,7 @@ func run(args []string) error {
 	only := fs.String("only", "", "comma-separated experiment ids (e.g. E1,E5); default all")
 	parallel := fs.Int("parallel", 0, "engine workers per experiment grid (0 = GOMAXPROCS); tables are identical at any value")
 	jsonPath := fs.String("json", "BENCH_results.json", "machine-readable report path (empty to skip)")
+	seed := fs.Int64("seed", 0, "offset for the experiments' base seeds (0 = the published tables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,7 +69,7 @@ func run(args []string) error {
 		}
 	}
 
-	report := benchReport{Full: *full, Parallel: engine.Parallelism(*parallel)}
+	report := benchReport{Full: *full, Parallel: engine.Parallelism(*parallel), Seed: *seed}
 	benchStart := time.Now()
 	for _, exp := range harness.All() {
 		if len(want) > 0 && !want[exp.ID] {
@@ -76,7 +78,7 @@ func run(args []string) error {
 		fmt.Printf("=== %s: %s\n", exp.ID, exp.Title)
 		fmt.Printf("    claim: %s\n\n", exp.Claim)
 		metrics := &engine.Metrics{}
-		opts := harness.Options{Full: *full, Parallel: *parallel, Metrics: metrics}
+		opts := harness.Options{Full: *full, Parallel: *parallel, Metrics: metrics, Seed: *seed}
 		start := time.Now()
 		tables, err := exp.Run(opts)
 		if err != nil {

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// captureStdout runs fn with stdout redirected to a pipe and returns what it
+// wrote. Stderr (timings, notes) is silenced: the contract under test is
+// that *stdout* is byte-identical across -parallel values.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, wr, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldOut, oldErr := os.Stdout, os.Stderr
+	os.Stdout, os.Stderr = wr, devnull
+	defer func() {
+		os.Stdout, os.Stderr = oldOut, oldErr
+		devnull.Close()
+	}()
+	done := make(chan string, 1)
+	go func() {
+		blob, _ := io.ReadAll(r)
+		done <- string(blob)
+	}()
+	runErr := fn()
+	wr.Close()
+	out := <-done
+	r.Close()
+	return out, runErr
+}
+
+// TestStdoutParityAcrossParallelism locks in the documented guarantee that
+// the rendered experiment tables are byte-identical at any -parallel value.
+// E6, E9, and E11 cover the three experiment families (engine grids, crash
+// waves, seeded-random fairness runs) while staying fast.
+func TestStdoutParityAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full experiment grids")
+	}
+	args := []string{"-only", "E6,E9,E11", "-json", ""}
+	one, err := captureStdout(t, func() error { return run(append([]string{"-parallel", "1"}, args...)) })
+	if err != nil {
+		t.Fatalf("-parallel 1: %v", err)
+	}
+	eight, err := captureStdout(t, func() error { return run(append([]string{"-parallel", "8"}, args...)) })
+	if err != nil {
+		t.Fatalf("-parallel 8: %v", err)
+	}
+	if one != eight {
+		t.Fatalf("stdout differs between -parallel 1 and 8:\n--- parallel 1 ---\n%s\n--- parallel 8 ---\n%s", one, eight)
+	}
+	if len(one) == 0 {
+		t.Fatal("no output captured")
+	}
+}
+
+// TestSeedChangesRandomizedTables checks that -seed actually reaches the
+// randomized experiments: E11's fairness sample must differ between seeds.
+func TestSeedChangesRandomizedTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full experiment grids")
+	}
+	base, err := captureStdout(t, func() error { return run([]string{"-only", "E11", "-json", "", "-seed", "0"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	reseeded, err := captureStdout(t, func() error { return run([]string{"-only", "E11", "-json", "", "-seed", "12345"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == reseeded {
+		t.Fatal("-seed 12345 produced the same E11 tables as -seed 0")
+	}
+}

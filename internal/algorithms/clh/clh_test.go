@@ -119,3 +119,10 @@ func TestExhaustiveTwoProcs(t *testing.T) {
 		t.Fatal("nothing explored")
 	}
 }
+
+// TestFaultCampaign runs the default fault-injection campaign: crash-free
+// seeded-random schedules judged by the invariant oracles, including the
+// algorithm's RMR budget ceiling.
+func TestFaultCampaign(t *testing.T) {
+	algtest.Campaign(t, clh.New(), 3, 8, sim.CC)
+}

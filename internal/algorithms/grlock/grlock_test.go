@@ -80,3 +80,11 @@ func TestTicketOverflowPanicsClearly(t *testing.T) {
 func isOverflow(err error) bool {
 	return err != nil && strings.Contains(err.Error(), "overflows")
 }
+
+// TestFaultCampaign runs the default fault-injection campaign — systematic
+// and seeded-random crash placement judged by the invariant oracles,
+// including the algorithm's RMR budget ceiling — under both cost models.
+func TestFaultCampaign(t *testing.T) {
+	algtest.Campaign(t, grlock.New(), 3, 8, sim.CC)
+	algtest.Campaign(t, grlock.New(), 3, 8, sim.DSM)
+}

@@ -106,3 +106,10 @@ func TestFIFOOrderUnderLockstep(t *testing.T) {
 		t.Errorf("CS order = %v, want [2 0 1]", order)
 	}
 }
+
+// TestFaultCampaign runs the default fault-injection campaign: crash-free
+// seeded-random schedules judged by the invariant oracles, including the
+// algorithm's RMR budget ceiling.
+func TestFaultCampaign(t *testing.T) {
+	algtest.Campaign(t, mcs.New(), 3, 8, sim.CC)
+}

@@ -109,3 +109,11 @@ func newAdversary(t *testing.T) (*adversary.Adversary, error) {
 		K: 4,
 	})
 }
+
+// TestFaultCampaign runs the default fault-injection campaign — systematic
+// and seeded-random crash placement judged by the invariant oracles,
+// including the algorithm's RMR budget ceiling — under both cost models.
+func TestFaultCampaign(t *testing.T) {
+	algtest.Campaign(t, qword.New(), 3, 8, sim.CC)
+	algtest.Campaign(t, qword.New(), 3, 8, sim.DSM)
+}

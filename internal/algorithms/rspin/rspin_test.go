@@ -97,3 +97,11 @@ func TestRecoverStatsMarkRecoveryPassages(t *testing.T) {
 		t.Errorf("crash-ended passages = %d, recovery passages = %d; want 1 and 1", crashEnded, recovery)
 	}
 }
+
+// TestFaultCampaign runs the default fault-injection campaign — systematic
+// and seeded-random crash placement judged by the invariant oracles,
+// including the algorithm's RMR budget ceiling — under both cost models.
+func TestFaultCampaign(t *testing.T) {
+	algtest.Campaign(t, rspin.New(), 3, 8, sim.CC)
+	algtest.Campaign(t, rspin.New(), 3, 8, sim.DSM)
+}

@@ -50,3 +50,10 @@ func TestWorksAtWidthOne(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFaultCampaign runs the default fault-injection campaign: crash-free
+// seeded-random schedules judged by the invariant oracles, including the
+// algorithm's RMR budget ceiling.
+func TestFaultCampaign(t *testing.T) {
+	algtest.Campaign(t, tas.New(), 3, 8, sim.CC)
+}

@@ -80,3 +80,10 @@ func TestLinearWaitingCostCC(t *testing.T) {
 		s.Close()
 	}
 }
+
+// TestFaultCampaign runs the default fault-injection campaign: crash-free
+// seeded-random schedules judged by the invariant oracles, including the
+// algorithm's RMR budget ceiling.
+func TestFaultCampaign(t *testing.T) {
+	algtest.Campaign(t, ticket.New(), 3, 8, sim.CC)
+}

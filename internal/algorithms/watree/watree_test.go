@@ -273,3 +273,12 @@ func TestFastPathContendedStillTree(t *testing.T) {
 		t.Fatalf("violations: %v", v)
 	}
 }
+
+// TestFaultCampaign runs the default fault-injection campaign — systematic
+// and seeded-random crash placement judged by the invariant oracles,
+// including the Θ(log_f n) RMR budget ceiling — for the word-fanout tree
+// under CC and the binary-fanout variant under DSM.
+func TestFaultCampaign(t *testing.T) {
+	algtest.Campaign(t, watree.New(), 3, 8, sim.CC)
+	algtest.Campaign(t, watree.New(watree.WithFanout(2)), 3, 8, sim.DSM)
+}

@@ -1,8 +1,10 @@
 // Package algtest is a reusable conformance suite for mutual exclusion
 // algorithms: mutual exclusion, progress, and — for recoverable algorithms —
 // systematic crash injection at every step of a base schedule, double
-// crashes, and randomized crash storms. Every algorithm package runs this
-// suite; the model checker in internal/check explores interleavings more
+// crashes, and randomized crash storms. The crash patterns are expressed as
+// fault-injection campaign presets over internal/faults, so every failure a
+// conformance run reports comes with a delta-debugged minimal reproducer.
+// The model checker in internal/check explores interleavings more
 // aggressively on top.
 package algtest
 
@@ -10,6 +12,7 @@ import (
 	"fmt"
 	"testing"
 
+	"rme/internal/faults"
 	"rme/internal/mutex"
 	"rme/internal/sim"
 	"rme/internal/word"
@@ -59,13 +62,43 @@ func Run(t *testing.T, alg mutex.Algorithm, opts Options) {
 			t.Run("RoundRobin", func(t *testing.T) { testRoundRobin(t, alg, opts, model) })
 			t.Run("RandomSchedules", func(t *testing.T) { testRandom(t, alg, opts, model) })
 			if alg.Recoverable() {
-				t.Run("CrashEverywhere", func(t *testing.T) { testCrashEverywhere(t, alg, opts, model) })
-				t.Run("CrashParked", func(t *testing.T) { testCrashParked(t, alg, opts, model) })
-				t.Run("DoubleCrash", func(t *testing.T) { testDoubleCrash(t, alg, opts, model) })
+				t.Run("CrashEverywhere", func(t *testing.T) {
+					runCampaign(t, alg, opts, model, 3, 1, faults.ExhaustiveCrashes{Crashes: 1})
+				})
+				t.Run("CrashParked", func(t *testing.T) {
+					runCampaign(t, alg, opts, model, 3, 1, faults.ParkedCrashes{})
+				})
+				t.Run("DoubleCrash", func(t *testing.T) {
+					runCampaign(t, alg, opts, model, 2, 1, faults.ExhaustiveCrashes{Crashes: 2})
+				})
 				t.Run("CrashStorm", func(t *testing.T) { testCrashStorm(t, alg, opts, model) })
-				t.Run("SystemWideCrash", func(t *testing.T) { testSystemWideCrash(t, alg, opts, model) })
+				t.Run("SystemWideCrash", func(t *testing.T) {
+					runCampaign(t, alg, opts, model, 3, 1, faults.SystemWideCrashes{})
+				})
 			}
 		})
+	}
+}
+
+// runCampaign executes one fault-injection campaign axis and reports every
+// failure with its minimal reproducer. The invariant oracles mirror the
+// suite's historical assertions: no safety violation (mutual exclusion), no
+// stuck or unboundedly long execution (deadlock-freedom), and every process
+// completing its super-passages (CS re-entry).
+func runCampaign(t *testing.T, alg mutex.Algorithm, opts Options, model sim.Model, n, passes int, src faults.Source) {
+	t.Helper()
+	rep, err := faults.Campaign{
+		Session: mutex.Config{
+			Procs: n, Width: opts.Width, Model: model, Algorithm: alg, Passes: passes,
+		},
+		Sources: []faults.Source{src},
+		Oracles: []faults.Oracle{faults.MutualExclusion{}, faults.DeadlockFree{}, faults.Reentry{}},
+	}.Run()
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("%s", f)
 	}
 }
 
@@ -134,115 +167,10 @@ func testRandom(t *testing.T, alg mutex.Algorithm, opts Options, model sim.Model
 	}
 }
 
-// testCrashEverywhere replays a deterministic round-robin execution and, in
-// each replica, injects a crash at one distinct step position — covering
-// every crash window of the base execution.
-func testCrashEverywhere(t *testing.T, alg mutex.Algorithm, opts Options, model sim.Model) {
-	const n, passes = 3, 1
-	// Measure the base execution length.
-	base := newSession(t, alg, opts, model, n, passes)
-	if err := base.RunRoundRobin(); err != nil {
-		t.Fatalf("base run: %v", err)
-	}
-	steps := base.Machine().Steps()
-	if steps == 0 {
-		t.Fatal("base run took no steps")
-	}
-
-	for at := 0; at < steps; at++ {
-		at := at
-		s := newSession(t, alg, opts, model, n, passes)
-		if err := runRoundRobinCrashAt(s, []int{at}); err != nil {
-			t.Fatalf("crash at step %d: %v", at, err)
-		}
-		assertCompleted(t, s, n, passes)
-		s.Close()
-	}
-}
-
-// testCrashParked crashes a process while it is parked on a spin wait — a
-// recovery window the poised-process sweeps cannot reach. For each decision
-// index of the base execution at which some process is parked, one replica
-// crashes the lowest-id parked process at that point.
-func testCrashParked(t *testing.T, alg mutex.Algorithm, opts Options, model sim.Model) {
-	const n, passes = 3, 1
-	base := newSession(t, alg, opts, model, n, passes)
-	if err := base.RunRoundRobin(); err != nil {
-		t.Fatalf("base run: %v", err)
-	}
-	steps := base.Machine().Steps()
-
-	for at := 0; at < steps; at++ {
-		s := newSession(t, alg, opts, model, n, passes)
-		if err := runCrashParkedAt(s, at); err != nil {
-			t.Fatalf("parked crash at decision %d: %v", at, err)
-		}
-		assertCompleted(t, s, n, passes)
-		s.Close()
-	}
-}
-
-// runCrashParkedAt drives round-robin; at decision index `at` it crashes the
-// lowest-id parked process (if any) before continuing.
-func runCrashParkedAt(s *mutex.Session, at int) error {
-	m := s.Machine()
-	decision := 0
-	crashed := false
-	for !m.AllDone() {
-		poised := m.PoisedProcs()
-		if len(poised) == 0 {
-			return mutex.ErrStuck
-		}
-		for _, p := range poised {
-			if m.ProcDone(p) || !m.Poised(p) {
-				continue
-			}
-			if decision == at && !crashed {
-				crashed = true
-				for q := 0; q < s.Config().Procs; q++ {
-					if !m.ProcDone(q) && m.Parked(q) {
-						if _, err := s.CrashProc(q); err != nil {
-							return err
-						}
-						break
-					}
-				}
-			}
-			if _, err := s.StepProc(p); err != nil {
-				return err
-			}
-			decision++
-		}
-	}
-	if v := s.Violations(); len(v) > 0 {
-		return fmt.Errorf("%d violations; first: %s", len(v), v[0])
-	}
-	return nil
-}
-
-// testDoubleCrash injects two crashes (possibly hitting the same process's
-// recovery) at sampled pairs of positions.
-func testDoubleCrash(t *testing.T, alg mutex.Algorithm, opts Options, model sim.Model) {
-	const n, passes = 2, 1
-	base := newSession(t, alg, opts, model, n, passes)
-	if err := base.RunRoundRobin(); err != nil {
-		t.Fatalf("base run: %v", err)
-	}
-	steps := base.Machine().Steps()
-
-	stride := steps/6 + 1
-	for i := 0; i < steps; i += stride {
-		for j := i + 1; j < steps+4; j += stride {
-			s := newSession(t, alg, opts, model, n, passes)
-			if err := runRoundRobinCrashAt(s, []int{i, j}); err != nil {
-				t.Fatalf("crashes at %d,%d: %v", i, j, err)
-			}
-			assertCompleted(t, s, n, passes)
-			s.Close()
-		}
-	}
-}
-
+// testCrashStorm keeps the historical storm semantics — random schedules with
+// probabilistic crash injection along the way — which the plan-based campaign
+// sources deliberately do not model (plans fix crash decision indices up
+// front; the storm crashes wherever the coin lands).
 func testCrashStorm(t *testing.T, alg mutex.Algorithm, opts Options, model sim.Model) {
 	for _, n := range procCounts(opts.MaxProcs) {
 		n := n
@@ -263,87 +191,27 @@ func testCrashStorm(t *testing.T, alg mutex.Algorithm, opts Options, model sim.M
 	}
 }
 
-// testSystemWideCrash crashes every live process simultaneously at sampled
-// points of the base execution — the system-wide failure model the paper
-// contrasts with its individual-crash model (§4). Individual-crash
-// recoverability implies system-wide recoverability, so every algorithm in
-// the suite must survive it.
-func testSystemWideCrash(t *testing.T, alg mutex.Algorithm, opts Options, model sim.Model) {
-	const n, passes = 3, 1
-	base := newSession(t, alg, opts, model, n, passes)
-	if err := base.RunRoundRobin(); err != nil {
-		t.Fatalf("base run: %v", err)
+// Campaign runs the default fault-injection campaign for an algorithm at one
+// configuration, sized down under -short, and reports failures with their
+// minimal reproducers. Algorithm packages call this as their campaign
+// conformance entry point; the default oracles include the per-algorithm RMR
+// budget ceilings, so a passage whose cost regresses past its asymptotic
+// class fails here.
+func Campaign(t *testing.T, alg mutex.Algorithm, n int, w word.Width, model sim.Model) {
+	t.Helper()
+	seed := int64(1)
+	rep, err := faults.Campaign{
+		Session: mutex.Config{Procs: n, Width: w, Model: model, Algorithm: alg},
+		Sources: faults.DefaultSources(alg.Recoverable(), seed, testing.Short()),
+		Seed:    seed,
+	}.Run()
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
 	}
-	steps := base.Machine().Steps()
-
-	stride := steps/8 + 1
-	for at := 0; at < steps; at += stride {
-		s := newSession(t, alg, opts, model, n, passes)
-		m := s.Machine()
-		decision := 0
-		crashed := false
-		for !m.AllDone() {
-			poised := m.PoisedProcs()
-			if len(poised) == 0 {
-				t.Fatalf("crash-all at %d: stuck", at)
-			}
-			for _, p := range poised {
-				if m.ProcDone(p) || !m.Poised(p) {
-					continue
-				}
-				if decision == at && !crashed {
-					crashed = true
-					if err := s.CrashAllProcs(); err != nil {
-						t.Fatalf("crash-all at %d: %v", at, err)
-					}
-					break // poised set is stale after a crash wave
-				}
-				if _, err := s.StepProc(p); err != nil {
-					t.Fatal(err)
-				}
-				decision++
-			}
-		}
-		assertCompleted(t, s, n, passes)
-		s.Close()
+	t.Logf("%s n=%d w=%d %s: %d runs across %d sources", alg.Name(), n, w, model, rep.Runs, len(rep.Sources))
+	for _, f := range rep.Failures {
+		t.Errorf("%s", f)
 	}
-}
-
-// runRoundRobinCrashAt drives the session round-robin, but at each scheduler
-// decision whose index is in crashAt, the chosen process crashes instead of
-// stepping. Positions beyond the execution length are ignored.
-func runRoundRobinCrashAt(s *mutex.Session, crashAt []int) error {
-	when := make(map[int]bool, len(crashAt))
-	for _, a := range crashAt {
-		when[a] = true
-	}
-	m := s.Machine()
-	decision := 0
-	for !m.AllDone() {
-		poised := m.PoisedProcs()
-		if len(poised) == 0 {
-			return mutex.ErrStuck
-		}
-		for _, p := range poised {
-			if m.ProcDone(p) || !m.Poised(p) {
-				continue
-			}
-			var err error
-			if when[decision] {
-				_, err = s.CrashProc(p)
-			} else {
-				_, err = s.StepProc(p)
-			}
-			if err != nil {
-				return err
-			}
-			decision++
-		}
-	}
-	if v := s.Violations(); len(v) > 0 {
-		return fmt.Errorf("%d violations; first: %s", len(v), v[0])
-	}
-	return nil
 }
 
 // assertCompleted verifies that every process finished the expected number
@@ -357,14 +225,7 @@ func assertCompleted(t *testing.T, s *mutex.Session, procs, passes int) {
 	if !m.AllDone() {
 		t.Fatal("not all processes finished")
 	}
-	// Each process must have completed `passes` super-passages: count
-	// passage records that ended a super-passage (not crash-terminated).
-	completed := make([]int, procs)
-	for _, st := range s.Stats() {
-		if !st.EndedByCrash {
-			completed[st.Proc]++
-		}
-	}
+	completed := s.CompletedPasses()
 	for p, c := range completed {
 		if c < passes {
 			t.Errorf("p%d completed %d super-passage-ending passages, want >= %d", p, c, passes)

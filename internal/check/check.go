@@ -36,6 +36,10 @@ type Config struct {
 	// Exhaustive is a sequential DFS; it instead reuses one machine across
 	// branches via the engine's reset-reuse worker.
 	Parallel int
+	// Seed offsets the seeds Stress derives its random schedules from, so
+	// repeated runs can cover disjoint deterministic samples. Exhaustive
+	// enumeration ignores it.
+	Seed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -213,7 +217,7 @@ func Stress(cfg Config, seeds int, crashProb float64) (*Result, error) {
 		specs[seed] = engine.RunSpec{
 			Session: cfg.Session,
 			Drive: func(s *mutex.Session) error {
-				err := s.RunRandom(int64(seed), mutex.RandomRunOptions{
+				err := s.RunRandom(cfg.Seed+int64(seed), mutex.RandomRunOptions{
 					CrashProb:         crashProb,
 					MaxCrashesPerProc: cfg.CrashesPerProc,
 				})

@@ -60,6 +60,9 @@ type Result struct {
 	Payload interface{}
 	// Err is the first error from construction, Drive, or Collect.
 	Err error
+	// Skipped marks a spec that never ran because an earlier result tripped
+	// Options.StopOn; all other fields are zero.
+	Skipped bool
 }
 
 // MaxRMR returns the worst per-passage RMR count under the given model.
@@ -85,6 +88,13 @@ type Options struct {
 	// Metrics, when non-nil, accumulates run counts and RMR statistics
 	// across Run calls (used by cmd/rmrbench's machine-readable output).
 	Metrics *Metrics
+	// StopOn, when non-nil, is evaluated on every completed Result (possibly
+	// from several worker goroutines at once, so it must be safe for
+	// concurrent use); once it returns true, specs that have not started are
+	// marked Skipped instead of running (fail-fast campaigns). Which specs complete before the stop
+	// lands depends on scheduling, so fail-fast runs trade the byte-identical
+	// determinism guarantee for latency; leave StopOn nil to keep it.
+	StopOn func(Result) bool
 }
 
 // Parallelism resolves a parallelism request: values <= 0 mean GOMAXPROCS.
@@ -106,11 +116,22 @@ func Run(specs []RunSpec, opts Options) []Result {
 	if par > len(specs) {
 		par = len(specs)
 	}
+	var stopped atomic.Bool
+	done := func(i int, r Result) {
+		res[i] = r
+		if opts.StopOn != nil && !r.Skipped && opts.StopOn(r) {
+			stopped.Store(true)
+		}
+	}
 	if par <= 1 {
 		w := NewWorker()
 		defer w.Close()
 		for i := range specs {
-			res[i] = runOne(w, i, &specs[i], opts.Metrics)
+			if stopped.Load() {
+				done(i, Result{Index: i, Skipped: true})
+				continue
+			}
+			done(i, runOne(w, i, &specs[i], opts.Metrics))
 		}
 		return res
 	}
@@ -123,7 +144,11 @@ func Run(specs []RunSpec, opts Options) []Result {
 			w := NewWorker()
 			defer w.Close()
 			for i := range jobs {
-				res[i] = runOne(w, i, &specs[i], opts.Metrics)
+				if stopped.Load() {
+					done(i, Result{Index: i, Skipped: true})
+					continue
+				}
+				done(i, runOne(w, i, &specs[i], opts.Metrics))
 			}
 		}()
 	}

@@ -1,0 +1,86 @@
+package faults
+
+import (
+	"fmt"
+
+	"rme/internal/memory"
+	"rme/internal/mutex"
+	"rme/internal/word"
+)
+
+// BrokenTAS is an intentionally crash-unsafe lock used to validate the
+// campaign engine end to end: a test-and-set lock that claims to be
+// recoverable but whose recover protocol forgets lock ownership. Lock
+// installs the caller's id; Recover reads the lock word and, on finding its
+// own id, "helpfully" clears it and reports RecoverIdle — abandoning the
+// critical section it still owns. A crash inside the CS therefore lets the
+// next contender acquire while the crashed holder is, per the CSR property,
+// still the owner: a mutual exclusion violation the monitors flag on the
+// spot. A single crash under round-robin escapes detection (the crashed
+// holder happens to win the re-acquire race), but the double-crash and
+// system-wide axes expose it, and the shrinker reduces the evidence to a
+// handful of actions.
+type BrokenTAS struct{}
+
+var _ mutex.Algorithm = BrokenTAS{}
+
+// NewBroken returns the crash-unsafe fixture algorithm.
+func NewBroken() BrokenTAS { return BrokenTAS{} }
+
+// Name identifies the fixture.
+func (BrokenTAS) Name() string { return "broken-tas" }
+
+// Recoverable reports true — incorrectly, which is the point.
+func (BrokenTAS) Recoverable() bool { return true }
+
+// Make allocates the single lock word (0 = free, p+1 = held by p).
+func (BrokenTAS) Make(mem memory.Allocator, n int) (mutex.Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("broken-tas: need at least 1 process, got %d", n)
+	}
+	return &brokenInstance{lock: mem.NewCell("broken.lock", memory.Shared, 0)}, nil
+}
+
+type brokenInstance struct {
+	lock memory.Cell
+}
+
+var _ mutex.Instance = (*brokenInstance)(nil)
+
+func (in *brokenInstance) Bind(env memory.Env) mutex.Handle {
+	return &brokenHandle{env: env, lock: in.lock, me: word.Word(env.ID() + 1)}
+}
+
+type brokenHandle struct {
+	env  memory.Env
+	lock memory.Cell
+	me   word.Word
+}
+
+var _ mutex.Handle = (*brokenHandle)(nil)
+
+// Lock spins until its CAS from 0 to the caller's id succeeds.
+func (h *brokenHandle) Lock() {
+	for {
+		if h.env.CAS(h.lock, 0, h.me) == 0 {
+			return
+		}
+		h.env.SpinUntil(h.lock, func(v word.Word) bool { return v == 0 })
+	}
+}
+
+// Unlock releases the lock.
+func (h *brokenHandle) Unlock() {
+	h.env.Write(h.lock, 0)
+}
+
+// Recover is the bug: a correct implementation would return RecoverAcquired
+// when the lock word holds its id (the crash hit the CS or the end of
+// entry). This one clears the lock and denies any super-passage was in
+// progress.
+func (h *brokenHandle) Recover() mutex.RecoverStatus {
+	if h.env.Read(h.lock) == h.me {
+		h.env.Write(h.lock, 0)
+	}
+	return mutex.RecoverIdle
+}

@@ -58,7 +58,7 @@ func runE9(opts Options) ([]Table, error) {
 				Session: mutex.Config{
 					Procs: n, Width: 16, Model: sim.CC, Algorithm: alg, Passes: 2, NoTrace: true,
 				},
-				Drive: crashWaveDrive(n, wv, 99),
+				Drive: crashWaveDrive(n, wv, 99+opts.Seed),
 			})
 		}
 	}

@@ -78,7 +78,7 @@ func runE11(opts Options) ([]Table, error) {
 					Passes: 1, NoTrace: true,
 				},
 				Drive: func(s *mutex.Session) error {
-					return s.RunRandom(int64(seed), mutex.RandomRunOptions{})
+					return s.RunRandom(int64(seed)+opts.Seed, mutex.RandomRunOptions{})
 				},
 				Collect: func(s *mutex.Session) (interface{}, error) {
 					return inversionFraction(s, an)

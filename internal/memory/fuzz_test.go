@@ -1,0 +1,96 @@
+package memory
+
+import (
+	"math/big"
+	"testing"
+
+	"rme/internal/word"
+)
+
+// refApply recomputes Apply's contract with math/big arithmetic mod 2^w — an
+// independent reference that cannot share Apply's masking bugs.
+func refApply(op Op, cur word.Word, w word.Width) (next, ret word.Word) {
+	mod := new(big.Int).Lsh(big.NewInt(1), uint(w))
+	red := func(v word.Word) word.Word {
+		r := new(big.Int).Mod(new(big.Int).SetUint64(v), mod)
+		return r.Uint64()
+	}
+	cur = red(cur)
+	switch op.Code {
+	case OpRead:
+		return cur, cur
+	case OpWrite:
+		return red(op.Arg), 0
+	case OpSwap:
+		return red(op.Arg), cur
+	case OpAdd:
+		sum := new(big.Int).Add(new(big.Int).SetUint64(cur), new(big.Int).SetUint64(op.Arg))
+		return sum.Mod(sum, mod).Uint64(), cur
+	case OpCAS:
+		if cur == red(op.Arg) {
+			return red(op.Arg2), cur
+		}
+		return cur, cur
+	default:
+		panic("unreachable")
+	}
+}
+
+// FuzzApplyTruncation differentially checks Apply — the single source of
+// truth for operation semantics in both runtimes — against the big.Int
+// reference at every width from 1 to 64 bits, and asserts the w-bit domain
+// invariant the paper's model depends on: no operation can ever leave more
+// than w bits of state in a cell.
+func FuzzApplyTruncation(f *testing.F) {
+	f.Add(uint8(1), uint64(0), uint64(0), uint64(0), uint8(8))
+	f.Add(uint8(4), uint64(1), uint64(0), ^uint64(0), uint8(1))
+	f.Add(uint8(5), uint64(0x100), uint64(0xff), uint64(0), uint8(8))
+	f.Add(uint8(4), ^uint64(0), uint64(0), ^uint64(0), uint8(64))
+	f.Add(uint8(3), uint64(1) << 63, uint64(0), uint64(5), uint8(63))
+	f.Fuzz(func(t *testing.T, code uint8, arg, arg2, cur uint64, wRaw uint8) {
+		w := word.Width(wRaw%64 + 1)
+		op := Op{Code: OpCode(code%5 + 1), Arg: arg, Arg2: arg2}
+		next, ret := Apply(op, cur, w)
+		if !w.Fits(next) {
+			t.Fatalf("%s at w=%d left %d bits: next=%#x", op, w, 64-uint64(w), next)
+		}
+		wantNext, wantRet := refApply(op, cur, w)
+		if next != wantNext || ret != wantRet {
+			t.Fatalf("%s(cur=%#x, w=%d) = (next=%#x, ret=%#x), reference (%#x, %#x)",
+				op, cur, w, next, ret, wantNext, wantRet)
+		}
+		// A CAS must succeed (return its expected value) iff the truncated
+		// expected matched the truncated current value.
+		if op.Code == OpCAS {
+			matched := w.Trunc(cur) == w.Trunc(arg)
+			if succeeded := ret == w.Trunc(arg); succeeded != matched {
+				t.Fatalf("CAS success=%v but expected-matches-current=%v (cur=%#x arg=%#x w=%d)",
+					succeeded, matched, cur, arg, w)
+			}
+		}
+	})
+}
+
+// FuzzCustomTruncation checks that custom transitions — the paper's
+// "arbitrary atomic operations" — cannot smuggle extra bits into a cell:
+// whatever the transition returns is truncated to w bits before it is stored.
+func FuzzCustomTruncation(f *testing.F) {
+	f.Add(uint64(0), uint64(1), uint8(8))
+	f.Add(^uint64(0), ^uint64(0), uint8(3))
+	f.Fuzz(func(t *testing.T, cur, leak uint64, wRaw uint8) {
+		w := word.Width(wRaw%64 + 1)
+		op := Custom("leak", func(v word.Word) (word.Word, word.Word) {
+			return v | leak, v
+		})
+		next, ret := Apply(op, cur, w)
+		if !w.Fits(next) {
+			t.Fatalf("custom op stored %#x at w=%d", next, w)
+		}
+		if want := w.Trunc(w.Trunc(cur) | leak); next != want {
+			t.Fatalf("custom next = %#x, want %#x", next, want)
+		}
+		if ret != w.Trunc(cur) {
+			t.Fatalf("custom saw cur=%#x, want the truncated %#x", ret, w.Trunc(cur))
+		}
+	})
+}

@@ -382,6 +382,22 @@ func (s *Session) Stats() []PassageStat {
 	return out
 }
 
+// CompletedPasses returns, per process, the number of passages that were not
+// crash-terminated. Every super-passage contributes exactly one such passage
+// (its last one); recover-at-idle sweeps may add more, so a run satisfied its
+// workload when every entry is >= Config().Passes — the completion half of
+// the critical-section re-entry obligation: a crashed process must resume and
+// finish its interrupted super-passage, not abandon it.
+func (s *Session) CompletedPasses() []int {
+	completed := make([]int, s.cfg.Procs)
+	for _, st := range s.Stats() {
+		if !st.EndedByCrash {
+			completed[st.Proc]++
+		}
+	}
+	return completed
+}
+
 // MaxPassageRMRs returns the maximum RMRs any process incurred in a single
 // passage — the paper's RMR complexity measure — under the given model.
 func (s *Session) MaxPassageRMRs(model sim.Model) int {

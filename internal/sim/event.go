@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"rme/internal/memory"
@@ -124,6 +125,25 @@ func (s Schedule) String() string {
 		parts[i] = a.String()
 	}
 	return strings.Join(parts, " ")
+}
+
+// ParseSchedule parses the String rendering of a schedule — space-separated
+// actions, "3" for a step by process 3 and "3^" for a crash step — back into
+// a Schedule. It is the inverse of Schedule.String, so a failure reproducer
+// printed by a fault campaign can be replayed from its textual form alone.
+func ParseSchedule(s string) (Schedule, error) {
+	fields := strings.Fields(s)
+	out := make(Schedule, 0, len(fields))
+	for _, f := range fields {
+		crash := strings.HasSuffix(f, "^")
+		num := strings.TrimSuffix(f, "^")
+		p, err := strconv.Atoi(num)
+		if err != nil || p < 0 {
+			return nil, fmt.Errorf("sim: bad schedule action %q", f)
+		}
+		out = append(out, Action{Proc: p, Crash: crash})
+	}
+	return out, nil
 }
 
 // Restrict returns the sub-schedule containing only actions by processes for

@@ -651,3 +651,29 @@ func TestCustomOpThroughGate(t *testing.T) {
 		t.Errorf("rets=%v final=%d", rets, m.Value(c))
 	}
 }
+
+// TestParseScheduleRoundTrip checks ParseSchedule as the inverse of
+// Schedule.String — the contract failure reproducers rely on.
+func TestParseScheduleRoundTrip(t *testing.T) {
+	sched := Schedule{{Proc: 0}, {Proc: 3, Crash: true}, {Proc: 12}, {Proc: 1, Crash: true}}
+	parsed, err := ParseSchedule(sched.String())
+	if err != nil {
+		t.Fatalf("ParseSchedule(%q): %v", sched.String(), err)
+	}
+	if len(parsed) != len(sched) {
+		t.Fatalf("parsed %d actions, want %d", len(parsed), len(sched))
+	}
+	for i := range sched {
+		if parsed[i] != sched[i] {
+			t.Fatalf("action %d = %+v, want %+v", i, parsed[i], sched[i])
+		}
+	}
+	if got, err := ParseSchedule("  "); err != nil || len(got) != 0 {
+		t.Fatalf("blank schedule: %v, %v", got, err)
+	}
+	for _, bad := range []string{"x", "3^^", "-1", "2 ^"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) did not fail", bad)
+		}
+	}
+}
