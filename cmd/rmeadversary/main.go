@@ -10,7 +10,14 @@
 // Usage:
 //
 //	rmeadversary [-alg watree] [-n 64] [-w 8] [-model cc] [-k 0]
+//	             [-trace FILE] [-traceformat jsonl|chrome] [-top N]
 //	rmeadversary [-alg watree] [-w 8] -sweep 16,64,256 [-parallel N]
+//
+// The construction itself runs trace-free (erasure audits replay the whole
+// execution constantly); -trace replays the final adversarial schedule on a
+// machine with event retention and exports its step-level story, so the
+// forced RMRs can be attributed to concrete cells. -top prints the replay's
+// hottest cells/procs to stderr. Single-construction mode only.
 package main
 
 import (
@@ -21,7 +28,6 @@ import (
 	"strings"
 
 	"rme/internal/adversary"
-	"rme/internal/engine"
 	"rme/internal/algorithms/clh"
 	"rme/internal/algorithms/grlock"
 	"rme/internal/algorithms/mcs"
@@ -32,8 +38,12 @@ import (
 	"rme/internal/algorithms/tournament"
 	"rme/internal/algorithms/watree"
 	"rme/internal/algorithms/yatree"
+	"rme/internal/cliutil"
+	"rme/internal/engine"
+	"rme/internal/faults"
 	"rme/internal/mutex"
 	"rme/internal/sim"
+	"rme/internal/trace"
 	"rme/internal/word"
 )
 
@@ -71,7 +81,13 @@ func run(args []string) error {
 	sweep := fs.String("sweep", "", "comma-separated n values; runs one construction per n and prints a summary table")
 	parallel := fs.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS); summary rows are identical at any value")
 	seed := fs.Int64("seed", 0, "accepted for CLI uniformity; the construction is deterministic and ignores it")
+	tracePath := fs.String("trace", "", "replay the final adversarial schedule traced and export it to this file")
+	traceFormat := fs.String("traceformat", "jsonl", "trace encoding: jsonl or chrome (Perfetto)")
+	top := fs.Int("top", 0, "print the N hottest cells/procs of the traced replay to stderr (0 = off)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := trace.ParseFormat(*traceFormat); err != nil {
 		return err
 	}
 
@@ -105,6 +121,22 @@ func run(args []string) error {
 	rep, err := adv.Run()
 	if err != nil {
 		return err
+	}
+
+	if *tracePath != "" || *top > 0 {
+		events, _, rerr := faults.ReplayTraced(mutex.Config{
+			Procs: *n, Width: word.Width(*w), Model: model, Algorithm: alg,
+		}, rep.Schedule)
+		if rerr != nil {
+			return fmt.Errorf("trace final schedule: %w", rerr)
+		}
+		runs := []trace.Run{{
+			Label: "adversary " + alg.Name(), Procs: *n, Model: model, Events: events,
+		}}
+		cliutil.SummarizeTrace(os.Stderr, runs, model, *top)
+		if err := cliutil.ExportTrace(*tracePath, *traceFormat, runs); err != nil {
+			return err
+		}
 	}
 
 	fmt.Printf("adversary vs %s: n=%d w=%d model=%s k=%d\n\n",

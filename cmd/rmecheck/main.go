@@ -6,6 +6,12 @@
 // Usage:
 //
 //	rmecheck [-alg watree] [-n 2] [-w 8] [-model cc] [-crashes 1] [-max 50000] [-stress 200] [-seed S] [-parallel N]
+//	         [-trace FILE] [-traceformat jsonl|chrome] [-top N]
+//
+// The checker itself runs trace-free (it replays millions of branches);
+// -trace exports the step-level story of the crash-free round-robin
+// reference run of the checked configuration, and -top prints its hottest
+// cells/procs to stderr.
 package main
 
 import (
@@ -26,8 +32,10 @@ import (
 	"rme/internal/algorithms/watree"
 	"rme/internal/algorithms/yatree"
 	"rme/internal/check"
+	"rme/internal/cliutil"
 	"rme/internal/mutex"
 	"rme/internal/sim"
+	"rme/internal/trace"
 	"rme/internal/word"
 )
 
@@ -49,7 +57,13 @@ func run(args []string) error {
 	stress := fs.Int("stress", 200, "randomized stress seeds (0 to skip)")
 	parallel := fs.Int("parallel", 0, "stress workers (0 = GOMAXPROCS); results are seed-deterministic at any value")
 	seed := fs.Int64("seed", 0, "offset for the stress schedule seeds (0 = the default sample)")
+	tracePath := fs.String("trace", "", "export a step-level trace of the crash-free reference run to this file")
+	traceFormat := fs.String("traceformat", "jsonl", "trace encoding: jsonl or chrome (Perfetto)")
+	top := fs.Int("top", 0, "print the N hottest cells/procs of the reference run to stderr (0 = off)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := trace.ParseFormat(*traceFormat); err != nil {
 		return err
 	}
 
@@ -74,6 +88,12 @@ func run(args []string) error {
 		CrashesPerProc: *crashes,
 		Parallel:       *parallel,
 		Seed:           *seed,
+	}
+
+	if *tracePath != "" || *top > 0 {
+		if err := traceReference(cfg.Session, *tracePath, *traceFormat, *top); err != nil {
+			return err
+		}
 	}
 
 	fmt.Printf("exhaustive: %s n=%d w=%d model=%s crashes<=%d\n", alg.Name(), *n, *w, model, *crashes)
@@ -102,6 +122,26 @@ func run(args []string) error {
 	}
 	fmt.Println("OK")
 	return nil
+}
+
+// traceReference runs the checked configuration crash-free round-robin on a
+// traced machine and exports/summarizes its event stream.
+func traceReference(cfg mutex.Config, path, format string, top int) error {
+	cfg.NoTrace = false
+	s, err := mutex.NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if err := s.RunRoundRobin(); err != nil {
+		return err
+	}
+	runs := []trace.Run{{
+		Label: "reference " + cfg.Algorithm.Name(), Procs: cfg.Procs, Model: cfg.Model,
+		Events: append([]sim.Event(nil), s.Machine().Trace()...),
+	}}
+	cliutil.SummarizeTrace(os.Stderr, runs, cfg.Model, top)
+	return cliutil.ExportTrace(path, format, runs)
 }
 
 func report(res *check.Result) error {

@@ -10,6 +10,13 @@
 //	rmefault [-alg watree] [-n 3] [-w 8] [-model cc] [-passes 1] [-seed 1]
 //	         [-sources single,rmr,parked,system,double,random] [-runs 48]
 //	         [-budget 0] [-bound 0] [-parallel N] [-failfast] [-noshrink] [-json]
+//	         [-trace FILE] [-traceformat jsonl|chrome] [-top N]
+//	         [-cpuprofile FILE] [-memprofile FILE]
+//
+// -trace replays each failure's shrunken reproducer (or, on a clean
+// campaign, the crash-free probe run) on a machine with event retention and
+// exports the step-level story; campaigns themselves run trace-free for
+// throughput. -top prints the replays' hottest cells/procs to stderr.
 //
 // The special algorithm "broken" is an intentionally crash-unsafe lock for
 // demonstrating the campaign pipeline end to end.
@@ -33,9 +40,11 @@ import (
 	"rme/internal/algorithms/tournament"
 	"rme/internal/algorithms/watree"
 	"rme/internal/algorithms/yatree"
+	"rme/internal/cliutil"
 	"rme/internal/faults"
 	"rme/internal/mutex"
 	"rme/internal/sim"
+	"rme/internal/trace"
 	"rme/internal/word"
 )
 
@@ -62,9 +71,22 @@ func run(args []string) error {
 	failFast := fs.Bool("failfast", false, "stop launching runs after the first failure (faster, non-deterministic report)")
 	noShrink := fs.Bool("noshrink", false, "report full failing schedules instead of minimized reproducers")
 	jsonOut := fs.Bool("json", false, "emit the campaign report as JSON on stdout")
+	tracePath := fs.String("trace", "", "export step-level traces of the failure reproducers (or the probe run) to this file")
+	traceFormat := fs.String("traceformat", "jsonl", "trace encoding: jsonl or chrome (Perfetto)")
+	top := fs.Int("top", 0, "print the N hottest cells/procs of the traced replays to stderr (0 = off)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if _, err := trace.ParseFormat(*traceFormat); err != nil {
+		return err
+	}
+	stopCPU, err := cliutil.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
 
 	algs := map[string]mutex.Algorithm{
 		"tas": tas.New(), "ticket": ticket.New(), "mcs": mcs.New(), "clh": clh.New(),
@@ -112,6 +134,21 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "campaign: %d runs in %v\n", rep.Runs, time.Since(start).Round(time.Millisecond))
 
+	if *tracePath != "" || *top > 0 {
+		runs, err := tracedReplays(rep)
+		if err != nil {
+			return err
+		}
+		// Attribution goes to stderr: -json stdout stays machine-clean.
+		cliutil.SummarizeTrace(os.Stderr, runs, model, *top)
+		if err := cliutil.ExportTrace(*tracePath, *traceFormat, runs); err != nil {
+			return err
+		}
+	}
+	if err := cliutil.WriteHeapProfile(*memProfile); err != nil {
+		return err
+	}
+
 	if *jsonOut {
 		return emitJSON(rep, model)
 	}
@@ -133,6 +170,37 @@ func run(args []string) error {
 	}
 	fmt.Println("OK")
 	return nil
+}
+
+// tracedReplays re-executes the campaign's interesting schedules — each
+// failure's shrunken reproducer, or the crash-free probe run when the
+// campaign was clean — on machines with event retention, and returns one
+// traced run per schedule in failure order.
+func tracedReplays(rep *faults.Report) ([]trace.Run, error) {
+	procs, model := rep.Cfg.Procs, rep.Cfg.Model
+	if len(rep.Failures) == 0 {
+		events, _, err := faults.ReplayTraced(rep.Cfg, rep.Probe.Schedule)
+		if err != nil {
+			return nil, fmt.Errorf("trace probe run: %w", err)
+		}
+		return []trace.Run{{Label: "probe", Procs: procs, Model: model, Events: events}}, nil
+	}
+	var runs []trace.Run
+	for i, f := range rep.Failures {
+		sched := f.Shrunk
+		if len(sched) == 0 {
+			sched = f.Schedule
+		}
+		events, _, err := faults.ReplayTraced(rep.Cfg, sched)
+		if err != nil {
+			return nil, fmt.Errorf("trace reproducer %d: %w", i, err)
+		}
+		runs = append(runs, trace.Run{
+			Index: i, Label: fmt.Sprintf("reproducer-%d %s/%s", i, f.Source, f.Oracle),
+			Procs: procs, Model: model, Events: events,
+		})
+	}
+	return runs, nil
 }
 
 // buildSources resolves the -sources flag. An empty spec selects every axis

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -53,6 +55,54 @@ func TestStdoutParityAcrossParallelism(t *testing.T) {
 	}
 	if len(one) == 0 {
 		t.Fatal("no output captured")
+	}
+}
+
+// TestTraceParityAcrossParallelism checks that the traced reproducer replays
+// are byte-identical at any -parallel value: the failure set (and hence the
+// shrunk schedules replayed under tracing) is campaign-deterministic.
+func TestTraceParityAcrossParallelism(t *testing.T) {
+	dir := t.TempDir()
+	one := filepath.Join(dir, "p1.jsonl")
+	eight := filepath.Join(dir, "p8.jsonl")
+	for parallel, path := range map[string]string{"1": one, "8": eight} {
+		_, runErr := captureStdout(t, func() error {
+			return run([]string{"-alg", "broken", "-n", "2", "-seed", "7", "-parallel", parallel, "-trace", path})
+		})
+		if runErr == nil {
+			t.Fatal("the broken algorithm campaign must exit with an error")
+		}
+	}
+	a, err := os.ReadFile(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(eight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("reproducer trace differs between -parallel 1 (%d bytes) and 8 (%d bytes)", len(a), len(b))
+	}
+}
+
+// TestJSONStdoutMachineClean asserts -json stdout is exactly one JSON
+// document — no timing, progress, or trace-summary lines mixed in — even
+// when tracing and summarizing are active.
+func TestJSONStdoutMachineClean(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	out, runErr := captureStdout(t, func() error {
+		return run([]string{"-alg", "broken", "-n", "2", "-seed", "7", "-json", "-trace", path, "-top", "3"})
+	})
+	if runErr == nil {
+		t.Fatal("the broken algorithm campaign must exit with an error")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json stdout is not a single JSON document: %v\n%s", err, out)
 	}
 }
 

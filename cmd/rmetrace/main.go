@@ -1,0 +1,125 @@
+// Command rmetrace works with step-level trace files exported by the other
+// tools' -trace flags (rmrbench, rmefault, rmecheck, rmeadversary).
+//
+//	rmetrace summarize [-model cc|dsm] [-top N] FILE
+//	rmetrace convert [-format chrome|jsonl] [-o OUT] FILE
+//
+// summarize aggregates a JSONL trace into per-cell and per-process RMR
+// attribution tables and prints the hottest cells and costliest processes —
+// the answer to "where did the RMRs go" that aggregate Max/Total counters
+// cannot give. convert re-encodes a JSONL trace, most usefully into Chrome
+// trace_event JSON for the Perfetto timeline (https://ui.perfetto.dev).
+// Both read from stdin when FILE is "-". Output is a pure function of the
+// input file: summarizing the same trace twice prints identical bytes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rme/internal/sim"
+	"rme/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rmetrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: rmetrace summarize|convert [flags] FILE")
+	}
+	switch args[0] {
+	case "summarize":
+		return runSummarize(args[1:])
+	case "convert":
+		return runConvert(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want summarize or convert)", args[0])
+	}
+}
+
+// readRuns loads a JSONL trace from the named file or stdin ("-").
+func readRuns(path string) ([]trace.Run, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	runs, err := trace.ReadJSONL(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("%s: no runs in trace", path)
+	}
+	return runs, nil
+}
+
+func runSummarize(args []string) error {
+	fs := flag.NewFlagSet("rmetrace summarize", flag.ContinueOnError)
+	modelName := fs.String("model", "cc", "rank by RMRs under this cost model: cc or dsm")
+	top := fs.Int("top", 10, "rows per attribution table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: rmetrace summarize [-model cc|dsm] [-top N] FILE")
+	}
+	model := sim.CC
+	if strings.EqualFold(*modelName, "dsm") {
+		model = sim.DSM
+	}
+	runs, err := readRuns(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d runs:\n", len(runs))
+	for _, r := range runs {
+		a := trace.Attribute(r.Events)
+		fmt.Printf("  run %d: %s (%s, n=%d) — %d events, %d steps, %d RMRs\n",
+			r.Index, r.Label, r.Model, r.Procs, a.Events, a.Steps, a.RMRs(r.Model))
+	}
+	trace.WriteSummary(os.Stdout, trace.Merge(runs), model, *top)
+	return nil
+}
+
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("rmetrace convert", flag.ContinueOnError)
+	format := fs.String("format", "chrome", "output encoding: chrome (Perfetto) or jsonl")
+	out := fs.String("o", "", "output path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: rmetrace convert [-format chrome|jsonl] [-o OUT] FILE")
+	}
+	f, err := trace.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	runs, err := readRuns(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return trace.Write(os.Stdout, f, runs)
+	}
+	if err := trace.WriteFile(*out, f, runs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%s, %d runs)\n", *out, f, len(runs))
+	return nil
+}

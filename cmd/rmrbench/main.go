@@ -9,9 +9,17 @@
 // changes. A machine-readable summary — wall time, run counts, and RMR
 // statistics per experiment — is written to the -json path.
 //
+// Step-level observability: -trace FILE captures every engine run's event
+// stream (JSONL, or Chrome trace_event JSON with -traceformat chrome, for
+// Perfetto); -top N prints the hottest cells and costliest processes so a
+// surprising table entry can be attributed to a specific access pattern.
+// -cpuprofile/-memprofile write pprof profiles of the bench itself.
+//
 // Usage:
 //
 //	rmrbench [-full] [-only E2,E5] [-seed S] [-parallel N] [-json BENCH_results.json]
+//	         [-trace FILE] [-traceformat jsonl|chrome] [-top N]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -22,8 +30,11 @@ import (
 	"strings"
 	"time"
 
+	"rme/internal/cliutil"
 	"rme/internal/engine"
 	"rme/internal/harness"
+	"rme/internal/sim"
+	"rme/internal/trace"
 )
 
 func main() {
@@ -58,8 +69,25 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "engine workers per experiment grid (0 = GOMAXPROCS); tables are identical at any value")
 	jsonPath := fs.String("json", "BENCH_results.json", "machine-readable report path (empty to skip)")
 	seed := fs.Int64("seed", 0, "offset for the experiments' base seeds (0 = the published tables)")
+	tracePath := fs.String("trace", "", "write a step-level trace of every engine run to this file")
+	traceFormat := fs.String("traceformat", "jsonl", "trace encoding: jsonl or chrome (Perfetto)")
+	top := fs.Int("top", 0, "print the N hottest cells/procs from the captured trace (0 = off)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if _, err := trace.ParseFormat(*traceFormat); err != nil {
+		return err
+	}
+	stopCPU, err := cliutil.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
+	var capture *trace.Capture
+	if *tracePath != "" || *top > 0 {
+		capture = &trace.Capture{}
 	}
 
 	want := map[string]bool{}
@@ -78,7 +106,7 @@ func run(args []string) error {
 		fmt.Printf("=== %s: %s\n", exp.ID, exp.Title)
 		fmt.Printf("    claim: %s\n\n", exp.Claim)
 		metrics := &engine.Metrics{}
-		opts := harness.Options{Full: *full, Parallel: *parallel, Metrics: metrics, Seed: *seed}
+		opts := harness.Options{Full: *full, Parallel: *parallel, Metrics: metrics, Seed: *seed, Trace: capture}
 		start := time.Now()
 		tables, err := exp.Run(opts)
 		if err != nil {
@@ -100,6 +128,18 @@ func run(args []string) error {
 		})
 	}
 	report.TotalWallMS = float64(time.Since(benchStart).Microseconds()) / 1000
+
+	if capture != nil {
+		runs := capture.Runs()
+		// The summary is as deterministic as the tables, so it shares stdout.
+		cliutil.SummarizeTrace(os.Stdout, runs, sim.CC, *top)
+		if err := cliutil.ExportTrace(*tracePath, *traceFormat, runs); err != nil {
+			return err
+		}
+	}
+	if err := cliutil.WriteHeapProfile(*memProfile); err != nil {
+		return err
+	}
 
 	if *jsonPath != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")

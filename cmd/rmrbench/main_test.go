@@ -1,9 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
+	"time"
 )
 
 // captureStdout runs fn with stdout redirected to a pipe and returns what it
@@ -59,6 +65,106 @@ func TestStdoutParityAcrossParallelism(t *testing.T) {
 	}
 	if len(one) == 0 {
 		t.Fatal("no output captured")
+	}
+}
+
+// TestTraceParityAcrossParallelism locks in the trace determinism guarantee:
+// the exported step-level trace — not just the rendered tables — is
+// byte-identical at any -parallel value, because captures are merged in
+// submission order regardless of which worker finished first.
+func TestTraceParityAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full experiment grid")
+	}
+	dir := t.TempDir()
+	one := filepath.Join(dir, "p1.jsonl")
+	eight := filepath.Join(dir, "p8.jsonl")
+	for parallel, path := range map[string]string{"1": one, "8": eight} {
+		if _, err := captureStdout(t, func() error {
+			return run([]string{"-only", "E6", "-json", "", "-parallel", parallel, "-trace", path})
+		}); err != nil {
+			t.Fatalf("-parallel %s: %v", parallel, err)
+		}
+	}
+	a, err := os.ReadFile(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(eight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("trace differs between -parallel 1 (%d bytes) and 8 (%d bytes)", len(a), len(b))
+	}
+}
+
+// TestStdoutMachineClean asserts the output-stream discipline: no timing or
+// progress diagnostics on stdout (they carry wall times that change between
+// runs), so stdout can be diffed or piped directly.
+func TestStdoutMachineClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full experiment grid")
+	}
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-only", "E6", "-json", ""})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timing := regexp.MustCompile(`\bin \d+(\.\d+)?[mµn]?s\b|^wrote `)
+	for _, line := range strings.Split(out, "\n") {
+		if timing.MatchString(line) {
+			t.Errorf("timing/progress line leaked to stdout: %q", line)
+		}
+	}
+}
+
+// TestTracingDisabledNoRegression is the bench guard: with tracing disabled
+// (no -trace, no -top) the E2 grid must stay within generous slack of the
+// recorded baseline in BENCH_results.json, so the observer hook's nil check
+// is demonstrably free. Gated behind RME_BENCH_GUARD=1 because wall-clock
+// assertions are too flaky for ordinary CI runners.
+func TestTracingDisabledNoRegression(t *testing.T) {
+	if os.Getenv("RME_BENCH_GUARD") == "" {
+		t.Skip("set RME_BENCH_GUARD=1 to enable the wall-clock guard")
+	}
+	blob, err := os.ReadFile("../../BENCH_results.json")
+	if err != nil {
+		t.Skipf("no baseline: %v", err)
+	}
+	var baseline struct {
+		Experiments []struct {
+			ID     string  `json:"id"`
+			WallMS float64 `json:"wall_ms"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(blob, &baseline); err != nil {
+		t.Fatal(err)
+	}
+	var baseMS float64
+	for _, e := range baseline.Experiments {
+		if e.ID == "E2" {
+			baseMS = e.WallMS
+		}
+	}
+	if baseMS == 0 {
+		t.Skip("baseline has no E2 entry")
+	}
+	start := time.Now()
+	if _, err := captureStdout(t, func() error {
+		return run([]string{"-only", "E2", "-json", "", "-parallel", "1"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := float64(time.Since(start).Microseconds()) / 1000
+	// 5x slack: this guards against the observer hook accidentally becoming
+	// hot (an order of magnitude), not against scheduler noise.
+	if got > 5*baseMS {
+		t.Errorf("tracing-disabled E2 took %.0f ms, baseline %.0f ms (>5x)", got, baseMS)
 	}
 }
 

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -32,12 +33,16 @@ const (
 )
 
 func main() {
-	if err := run(); err != nil {
+	// Same convention as the cmd/ tools: -seed offsets the base seed, 0 is
+	// the published run.
+	seed := flag.Int64("seed", 0, "offset for the scheduling seed (0 = the published run)")
+	flag.Parse()
+	if err := run(*seed); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(seed int64) error {
 	machine, err := sim.New(sim.Config{Procs: procs, Width: width, Model: sim.CC})
 	if err != nil {
 		return err
@@ -73,7 +78,7 @@ func run() error {
 	}
 
 	// Random scheduling with crash injection (up to 2 crashes per process).
-	rng := rand.New(rand.NewSource(2023))
+	rng := rand.New(rand.NewSource(2023 + seed))
 	crashes := 0
 	for !machine.AllDone() {
 		poised := machine.PoisedProcs()

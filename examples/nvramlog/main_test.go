@@ -1,0 +1,55 @@
+package main
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// runCaptured runs the example with stdout redirected and returns what it
+// printed.
+func runCaptured(t *testing.T, seed int64) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		blob, _ := io.ReadAll(r)
+		done <- string(blob)
+	}()
+	runErr := run(seed)
+	w.Close()
+	out := <-done
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("seed %d: %v\noutput:\n%s", seed, runErr, out)
+	}
+	return out
+}
+
+// TestSeedDeterminism checks -seed fully determines the run: the same seed
+// reproduces the same log and crash report byte for byte, and a different
+// seed exercises a different schedule. The log invariants themselves are
+// asserted inside run for every seed.
+func TestSeedDeterminism(t *testing.T) {
+	base := runCaptured(t, 0)
+	if base != runCaptured(t, 0) {
+		t.Error("seed 0 is not reproducible")
+	}
+	if base == runCaptured(t, 41) {
+		t.Error("seed 41 produced the published-run schedule")
+	}
+}
+
+// TestManySeedsSurviveCrashes runs the crash-consistency argument across a
+// spread of schedules: every seed must leave the log intact.
+func TestManySeedsSurviveCrashes(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		runCaptured(t, seed)
+	}
+}

@@ -184,6 +184,10 @@ type Report struct {
 	ViableRounds int
 	// Steps is the length of the final execution's schedule.
 	Steps int
+	// Schedule is the final execution's full schedule. The construction runs
+	// with NoTrace (erasure audits replay constantly), so a caller that
+	// wants the step-level story replays this schedule on a traced machine.
+	Schedule sim.Schedule
 	// InvariantViolations lists operational invariant-audit failures
 	// (empty in a sound construction).
 	InvariantViolations []string
@@ -320,6 +324,7 @@ func (a *Adversary) snapshotViable(round int) {
 
 func (a *Adversary) finishReport() {
 	a.report.Steps = a.session.Machine().Steps()
+	a.report.Schedule = a.session.Machine().Schedule()
 	v := a.lastViable
 	a.report.Survivors = v.procs
 	a.report.SurvivorRMRs = v.rmrs

@@ -1,0 +1,86 @@
+// Package cliutil holds small helpers shared by the cmd/ mains: pprof
+// profiling flags and trace-export plumbing. Everything here writes its
+// diagnostics to stderr — stdout belongs to the tools' reports, which must
+// stay byte-identical across -parallel settings.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"rme/internal/sim"
+	"rme/internal/trace"
+)
+
+// StartCPUProfile begins a CPU profile to the given path (empty = off) and
+// returns a stop function for defer. The stop function is never nil.
+func StartCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return func() {}, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return func() {}, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+		}
+	}, nil
+}
+
+// WriteHeapProfile writes a heap profile to the given path (empty = no-op)
+// after a final GC, so the profile reflects live allocations.
+func WriteHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ExportTrace writes captured runs to path in the given format (flag
+// spelling) and notes the export on stderr. No-op when path is empty.
+func ExportTrace(path, format string, runs []trace.Run) error {
+	if path == "" {
+		return nil
+	}
+	f, err := trace.ParseFormat(format)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteFile(path, f, runs); err != nil {
+		return err
+	}
+	events := 0
+	for _, r := range runs {
+		events += len(r.Events)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%s, %d runs, %d events)\n", path, f, len(runs), events)
+	return nil
+}
+
+// SummarizeTrace prints the hottest-cells / costliest-procs attribution of
+// the captured runs to w when top > 0.
+func SummarizeTrace(w io.Writer, runs []trace.Run, model sim.Model, top int) {
+	if top <= 0 {
+		return
+	}
+	trace.WriteSummary(w, trace.Merge(runs), model, top)
+}

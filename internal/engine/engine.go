@@ -21,11 +21,13 @@ package engine
 import (
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"rme/internal/mutex"
 	"rme/internal/sim"
+	"rme/internal/trace"
 )
 
 // RunSpec describes one simulation run: a session construction plus how to
@@ -33,6 +35,8 @@ import (
 type RunSpec struct {
 	// Session is the machine/algorithm configuration.
 	Session mutex.Config
+	// Label names the run in trace exports; empty means the algorithm name.
+	Label string
 	// Drive executes the run; nil means Session.RunRoundRobin. It must be
 	// deterministic (seed any randomness from the spec itself) or the
 	// engine's byte-identical-at-any-parallelism guarantee is void.
@@ -88,6 +92,12 @@ type Options struct {
 	// Metrics, when non-nil, accumulates run counts and RMR statistics
 	// across Run calls (used by cmd/rmrbench's machine-readable output).
 	Metrics *Metrics
+	// Trace, when non-nil, captures every run's full event stream. The batch
+	// reserves a contiguous block of submission-order slots up front, so
+	// captured runs come back in spec order at any parallelism level.
+	// Capturing overrides Session.NoTrace for the duration of the run (the
+	// machine must retain events to have a trace to hand over).
+	Trace *trace.Capture
 	// StopOn, when non-nil, is evaluated on every completed Result (possibly
 	// from several worker goroutines at once, so it must be safe for
 	// concurrent use); once it returns true, specs that have not started are
@@ -116,6 +126,10 @@ func Run(specs []RunSpec, opts Options) []Result {
 	if par > len(specs) {
 		par = len(specs)
 	}
+	base := 0
+	if opts.Trace != nil {
+		base = opts.Trace.Reserve(len(specs))
+	}
 	var stopped atomic.Bool
 	done := func(i int, r Result) {
 		res[i] = r
@@ -131,7 +145,7 @@ func Run(specs []RunSpec, opts Options) []Result {
 				done(i, Result{Index: i, Skipped: true})
 				continue
 			}
-			done(i, runOne(w, i, &specs[i], opts.Metrics))
+			done(i, runOne(w, i, &specs[i], opts.Metrics, opts.Trace, base+i))
 		}
 		return res
 	}
@@ -148,7 +162,7 @@ func Run(specs []RunSpec, opts Options) []Result {
 					done(i, Result{Index: i, Skipped: true})
 					continue
 				}
-				done(i, runOne(w, i, &specs[i], opts.Metrics))
+				done(i, runOne(w, i, &specs[i], opts.Metrics, opts.Trace, base+i))
 			}
 		}()
 	}
@@ -160,9 +174,16 @@ func Run(specs []RunSpec, opts Options) []Result {
 	return res
 }
 
-func runOne(w *Worker, i int, spec *RunSpec, m *Metrics) Result {
+func runOne(w *Worker, i int, spec *RunSpec, m *Metrics, tc *trace.Capture, slot int) Result {
 	r := Result{Index: i}
-	s, err := w.Session(spec.Session)
+	cfg := spec.Session
+	if tc != nil {
+		// The machine must retain events for the capture to hand over; the
+		// override applies to every spec in the batch, so worker reuse
+		// (Compatible includes NoTrace) is unaffected.
+		cfg.NoTrace = false
+	}
+	s, err := w.Session(cfg)
 	if err != nil {
 		r.Err = err
 		return r
@@ -181,10 +202,24 @@ func runOne(w *Worker, i int, spec *RunSpec, m *Metrics) Result {
 	if r.Err == nil && spec.Collect != nil {
 		r.Payload, r.Err = spec.Collect(s)
 	}
-	w.Release(s)
+	if tc != nil {
+		// Clone: Reset truncates the machine's retained trace in place.
+		events := append([]sim.Event(nil), s.Machine().Trace()...)
+		scfg := s.Config()
+		label := spec.Label
+		if label == "" {
+			label = scfg.Algorithm.Name()
+		}
+		tc.Set(slot, trace.Run{
+			Label: label, Procs: scfg.Procs, Model: scfg.Model, Events: events,
+		})
+	}
 	if m != nil {
 		m.Add(1, r.Steps, r.MaxRMR(spec.Session.Model))
+		m.AddPassages(s.Stats(), s.Config().Model)
+		m.AddCells(s.Machine().CellRMRStats())
 	}
+	w.Release(s)
 	return r
 }
 
@@ -287,6 +322,16 @@ type Metrics struct {
 	steps     atomic.Int64
 	maxRMR    atomic.Int64
 	sumMaxRMR atomic.Int64
+
+	// The histogram maps are mutex-guarded (not atomics) because they are
+	// touched once per run, not once per step; the hot path stays lock-free.
+	mu       sync.Mutex
+	passages map[int]int64       // per-passage RMR count (run's model) -> passages
+	cells    map[string]*cellAgg // cell label -> RMR totals
+}
+
+type cellAgg struct {
+	cc, dsm int64
 }
 
 // Add records runs simulation runs with the given total step count and
@@ -304,6 +349,63 @@ func (m *Metrics) Add(runs, steps, maxRMR int) {
 	}
 }
 
+// AddPassages folds one run's completed passages into the per-passage RMR
+// histogram, each counted under the run's own configured model.
+func (m *Metrics) AddPassages(stats []mutex.PassageStat, model sim.Model) {
+	if len(stats) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.passages == nil {
+		m.passages = make(map[int]int64)
+	}
+	for _, p := range stats {
+		m.passages[p.RMRs(model)]++
+	}
+}
+
+// AddCells folds one run's per-cell RMR totals into the cross-run cell
+// table, keyed by label (allocation ids are per-machine).
+func (m *Metrics) AddCells(cells []sim.CellRMRs) {
+	if len(cells) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cells == nil {
+		m.cells = make(map[string]*cellAgg)
+	}
+	for _, c := range cells {
+		a, ok := m.cells[c.Label]
+		if !ok {
+			a = &cellAgg{}
+			m.cells[c.Label] = a
+		}
+		a.cc += int64(c.RMRCC)
+		a.dsm += int64(c.RMRDSM)
+	}
+}
+
+// PassageBucket is one row of the per-passage RMR histogram.
+type PassageBucket struct {
+	// RMRs is the passage cost under the run's configured model.
+	RMRs int `json:"rmrs"`
+	// Passages is how many passages cost exactly that much.
+	Passages int64 `json:"passages"`
+}
+
+// CellTotal is one row of the cross-run per-cell RMR table.
+type CellTotal struct {
+	Label  string `json:"label"`
+	RMRCC  int64  `json:"rmr_cc"`
+	RMRDSM int64  `json:"rmr_dsm"`
+}
+
+// maxSnapshotCells caps the cell table in snapshots so machine-readable
+// reports stay bounded on huge sweeps; the omitted count is reported.
+const maxSnapshotCells = 40
+
 // MetricsSnapshot is a point-in-time reading.
 type MetricsSnapshot struct {
 	// Runs is the number of simulation runs executed.
@@ -315,9 +417,18 @@ type MetricsSnapshot struct {
 	MaxRMR int64 `json:"max_rmr"`
 	// AvgMaxRMR averages the per-run worst passage cost over all runs.
 	AvgMaxRMR float64 `json:"avg_max_rmr"`
+	// Passages counts completed passages across runs.
+	Passages int64 `json:"passages,omitempty"`
+	// PassageRMRHist is the passage-cost histogram, ascending by cost.
+	PassageRMRHist []PassageBucket `json:"passage_rmr_hist,omitempty"`
+	// Cells are per-cell RMR totals, hottest (CC+DSM) first, capped at
+	// maxSnapshotCells rows; CellsOmitted counts the rows cut.
+	Cells        []CellTotal `json:"cells,omitempty"`
+	CellsOmitted int         `json:"cells_omitted,omitempty"`
 }
 
-// Snapshot returns the current totals.
+// Snapshot returns the current totals. The histogram and cell slices are
+// sorted copies, so encoding a snapshot is deterministic.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	s := MetricsSnapshot{
 		Runs:   m.runs.Load(),
@@ -326,6 +437,29 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	}
 	if s.Runs > 0 {
 		s.AvgMaxRMR = math.Round(float64(m.sumMaxRMR.Load())/float64(s.Runs)*100) / 100
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for rmrs, n := range m.passages {
+		s.PassageRMRHist = append(s.PassageRMRHist, PassageBucket{RMRs: rmrs, Passages: n})
+		s.Passages += n
+	}
+	sort.Slice(s.PassageRMRHist, func(i, j int) bool {
+		return s.PassageRMRHist[i].RMRs < s.PassageRMRHist[j].RMRs
+	})
+	for label, a := range m.cells {
+		s.Cells = append(s.Cells, CellTotal{Label: label, RMRCC: a.cc, RMRDSM: a.dsm})
+	}
+	sort.Slice(s.Cells, func(i, j int) bool {
+		ti, tj := s.Cells[i].RMRCC+s.Cells[i].RMRDSM, s.Cells[j].RMRCC+s.Cells[j].RMRDSM
+		if ti != tj {
+			return ti > tj
+		}
+		return s.Cells[i].Label < s.Cells[j].Label
+	})
+	if len(s.Cells) > maxSnapshotCells {
+		s.CellsOmitted = len(s.Cells) - maxSnapshotCells
+		s.Cells = s.Cells[:maxSnapshotCells]
 	}
 	return s
 }

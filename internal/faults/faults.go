@@ -346,5 +346,5 @@ func (c Campaign) probe(cfg mutex.Config) (Probe, *Outcome, error) {
 		}
 	})
 	o := snapshot(s, driveErr)
-	return Probe{Steps: len(o.Schedule), RMRAt: rmrAt}, o, nil
+	return Probe{Steps: len(o.Schedule), RMRAt: rmrAt, Schedule: o.Schedule}, o, nil
 }

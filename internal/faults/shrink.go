@@ -226,6 +226,26 @@ func Replay(cfg mutex.Config, sched sim.Schedule) (*Outcome, error) {
 	return replayOutcome(s, true), nil
 }
 
+// ReplayTraced is Replay with event retention: it returns the replay's full
+// step-level trace alongside the outcome. Campaigns force NoTrace for
+// throughput, so this is how a failure's shrunken reproducer (or the probe
+// run) gets its per-access story back for export (rmefault -trace).
+func ReplayTraced(cfg mutex.Config, sched sim.Schedule) ([]sim.Event, *Outcome, error) {
+	cfg.NoTrace = false
+	s, err := mutex.NewSession(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer s.Close()
+	for i, act := range sched {
+		if !applyAction(s, act) {
+			return nil, nil, fmt.Errorf("faults: action %d (%s) does not apply", i, act)
+		}
+	}
+	events := append([]sim.Event(nil), s.Machine().Trace()...)
+	return events, replayOutcome(s, true), nil
+}
+
 // without returns sched with [start, end) removed.
 func without(sched sim.Schedule, start, end int) sim.Schedule {
 	out := make(sim.Schedule, 0, len(sched)-(end-start))

@@ -3,6 +3,8 @@ package faults
 import (
 	"fmt"
 	"math/rand"
+
+	"rme/internal/sim"
 )
 
 // Probe describes the crash-free base execution a campaign measured before
@@ -15,6 +17,11 @@ type Probe struct {
 	// RMRAt lists the decision indices whose step incurred an RMR under the
 	// campaign's configured model, ascending.
 	RMRAt []int
+	// Schedule is the probe run's executed action sequence. Campaigns force
+	// NoTrace, so a caller that wants the step-level story (rmefault -trace)
+	// replays this schedule — or a failure's shrunken reproducer — on a
+	// traced machine.
+	Schedule sim.Schedule
 }
 
 // Source generates the run plans of one campaign axis.

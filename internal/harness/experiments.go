@@ -7,7 +7,6 @@ import (
 
 	"rme/internal/adversary"
 	"rme/internal/algorithms/clh"
-	"rme/internal/engine"
 	"rme/internal/algorithms/grlock"
 	"rme/internal/algorithms/mcs"
 	"rme/internal/algorithms/rspin"
@@ -16,11 +15,13 @@ import (
 	"rme/internal/algorithms/tournament"
 	"rme/internal/algorithms/watree"
 	"rme/internal/algorithms/yatree"
+	"rme/internal/engine"
 	"rme/internal/hiding"
 	"rme/internal/hypergraph"
 	"rme/internal/memory"
 	"rme/internal/mutex"
 	"rme/internal/sim"
+	"rme/internal/trace"
 	"rme/internal/word"
 )
 
@@ -40,10 +41,14 @@ type Options struct {
 	// published tables; any other value reruns the randomized experiments on
 	// a disjoint, equally deterministic sample.
 	Seed int64
+	// Trace, when non-nil, captures every engine run's event stream for
+	// export (cmd/rmrbench -trace). Experiments that bypass the engine's
+	// Run (adversary constructions) are not captured.
+	Trace *trace.Capture
 }
 
 func (o Options) engineOpts() engine.Options {
-	return engine.Options{Parallel: o.Parallel, Metrics: o.Metrics}
+	return engine.Options{Parallel: o.Parallel, Metrics: o.Metrics, Trace: o.Trace}
 }
 
 // Experiment is one reproducible result.

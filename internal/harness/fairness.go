@@ -4,13 +4,13 @@ import (
 	"fmt"
 
 	"rme/internal/algorithms/clh"
-	"rme/internal/engine"
 	"rme/internal/algorithms/mcs"
 	"rme/internal/algorithms/qword"
 	"rme/internal/algorithms/tas"
 	"rme/internal/algorithms/ticket"
 	"rme/internal/algorithms/tournament"
 	"rme/internal/algorithms/watree"
+	"rme/internal/engine"
 	"rme/internal/mutex"
 	"rme/internal/sim"
 	"rme/internal/word"

@@ -80,7 +80,9 @@ func Lemma4(edges []Edge, part int, partVerts []Vertex, s, eps float64) (*Lemma4
 				count++
 			}
 		}
-		if count > bestCount {
+		// Tie-break on the tuple key itself: map iteration order is random,
+		// and bestTuple decides the certificate's Z and Common fields.
+		if count > bestCount || (count == bestCount && count > 0 && (bestTuple == "" || tuple < bestTuple)) {
 			bestCount = count
 			bestTuple = tuple
 		}

@@ -1,0 +1,43 @@
+package hypergraph
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestLemma4CaseBDeterministicUnderTies is the regression test for the
+// best-tuple selection: on a fixture where every candidate tuple has the
+// same intersection count, the certificate used to depend on map iteration
+// order. A complete bipartite 5×4 graph with s=4, ε=0.25 defeats the
+// singleton case (every degree is 4 < |E|/s = 5) and leaves all four
+// tuples tied at count 5 ≥ s(1+ε)(1-2ε) = 2.5, so case (b) must pick one
+// of four equally good tuples — deterministically.
+func TestLemma4CaseBDeterministicUnderTies(t *testing.T) {
+	parts := [][]Vertex{{0, 1, 2, 3, 4}, {5, 6, 7, 8}}
+	h, err := Complete(parts, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const s, eps = 4, 0.25
+	var want string
+	for i := 0; i < 60; i++ {
+		res, err := Lemma4(h.Edges, 0, h.Parts[0], s, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CaseA {
+			t.Fatal("fixture unexpectedly satisfied case (a); it no longer exercises the tie-break")
+		}
+		if err := VerifyLemma4(h.Edges, 0, res, s, eps); err != nil {
+			t.Fatal(err)
+		}
+		got := fmt.Sprintf("Z=%v Common=%v", res.Z, res.Common)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("iteration %d produced a different certificate:\n first: %s\n   now: %s", i, want, got)
+		}
+	}
+}

@@ -46,7 +46,7 @@ func FuzzApplyTruncation(f *testing.F) {
 	f.Add(uint8(4), uint64(1), uint64(0), ^uint64(0), uint8(1))
 	f.Add(uint8(5), uint64(0x100), uint64(0xff), uint64(0), uint8(8))
 	f.Add(uint8(4), ^uint64(0), uint64(0), ^uint64(0), uint8(64))
-	f.Add(uint8(3), uint64(1) << 63, uint64(0), uint64(5), uint8(63))
+	f.Add(uint8(3), uint64(1)<<63, uint64(0), uint64(5), uint8(63))
 	f.Fuzz(func(t *testing.T, code uint8, arg, arg2, cur uint64, wRaw uint8) {
 		w := word.Width(wRaw%64 + 1)
 		op := Op{Code: OpCode(code%5 + 1), Arg: arg, Arg2: arg2}

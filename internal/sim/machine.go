@@ -90,6 +90,19 @@ type Machine struct {
 	sealed bool
 	// wakeScratch is a reused buffer for watcher snapshots in resolveWakes.
 	wakeScratch []int
+	// obs, when non-nil, is streamed every recorded event (see SetObserver).
+	// The disabled path is a single nil check per event.
+	obs Observer
+}
+
+// Observer receives every recorded trace event as it happens, including
+// events the machine does not retain under NoTrace. Observers run on the
+// controller goroutine, synchronously with the step that produced the event;
+// they must not call back into the machine. When no observer is set the hook
+// costs one nil check per event — the zero-overhead-when-disabled contract
+// the rmrbench baseline guard enforces.
+type Observer interface {
+	ObserveEvent(Event)
 }
 
 var _ memory.Allocator = (*Machine)(nil)
@@ -217,6 +230,8 @@ func (m *Machine) Reset() {
 		c.accessed.ClearAll()
 		c.watchers.ClearAll()
 		c.lastAccessor = -1
+		c.rmrCC = 0
+		c.rmrDSM = 0
 	}
 	m.trace = m.trace[:0]
 	m.schedule = m.schedule[:0]
@@ -263,10 +278,12 @@ func (m *Machine) registerWait(p *Proc) bool {
 		remote := c.owner != p.id
 		if missCC {
 			p.rmrCC++
+			c.rmrCC++
 			c.cached.Set(p.id)
 		}
 		if remote {
 			p.rmrDSM++
+			c.rmrDSM++
 		}
 		if missCC || remote {
 			m.seq++
@@ -373,10 +390,12 @@ func (m *Machine) resolveWakes(c *simCell) error {
 		}
 		// Phantom recheck: the touch invalidated q's copy of c.
 		qr.rmrCC++
+		c.rmrCC++
 		c.cached.Set(q)
 		remote := c.owner != q
 		if remote {
 			qr.rmrDSM++
+			c.rmrDSM++
 		}
 		vals := make([]word.Word, len(qr.pending.multi))
 		for i, wc := range qr.pending.multi {
@@ -439,9 +458,11 @@ func (m *Machine) applyStep(pr *Proc, req *stepReq) Event {
 
 	if rmrCC {
 		pr.rmrCC++
+		c.rmrCC++
 	}
 	if rmrDSM {
 		pr.rmrDSM++
+		c.rmrDSM++
 	}
 	pr.steps++
 
@@ -511,12 +532,23 @@ func (m *Machine) Apply(s Schedule) error {
 	return nil
 }
 
-// record appends an event to the trace unless tracing is disabled.
+// record appends an event to the trace unless tracing is disabled, and
+// streams it to the observer, if any. Observer delivery is independent of
+// NoTrace: a campaign that discards retained traces can still stream.
 func (m *Machine) record(ev Event) {
 	if !m.cfg.NoTrace {
 		m.trace = append(m.trace, ev)
 	}
+	if m.obs != nil {
+		m.obs.ObserveEvent(ev)
+	}
 }
+
+// SetObserver installs (or, with nil, removes) the event observer. The
+// observer survives Reset — reattachment would race the construction marks
+// Start records — so a reused machine streams every run to the same sink
+// unless the controller swaps it between runs.
+func (m *Machine) SetObserver(o Observer) { m.obs = o }
 
 // Close shuts the machine down, terminating all process goroutines. It is
 // idempotent and must be called (typically deferred) to avoid goroutine
@@ -674,6 +706,27 @@ func (m *Machine) Accessors(c memory.Cell) []int {
 	return m.own(c).accessed.AppendTo(nil)
 }
 
+// CellRMRs is one cell's RMR attribution row: how many RMR charges, under
+// each model, were incurred by operations (and spin rechecks) on this cell.
+// Summed over cells it equals the sum of the per-process counters.
+type CellRMRs struct {
+	Cell   int
+	Label  string
+	Owner  int
+	RMRCC  int
+	RMRDSM int
+}
+
+// CellRMRStats returns the per-cell RMR attribution table in allocation
+// order (deterministic across replays of the same construction).
+func (m *Machine) CellRMRStats() []CellRMRs {
+	out := make([]CellRMRs, len(m.cells))
+	for i, c := range m.cells {
+		out[i] = CellRMRs{Cell: c.id, Label: c.label, Owner: c.owner, RMRCC: c.rmrCC, RMRDSM: c.rmrDSM}
+	}
+	return out
+}
+
 // HasCache reports whether p holds a valid cache copy of c (CC model state).
 func (m *Machine) HasCache(p int, c memory.Cell) bool { return m.own(c).cached.Test(p) }
 
@@ -712,6 +765,12 @@ type simCell struct {
 	accessed     word.Bitset
 	lastAccessor int
 	watchers     word.Bitset
+	// rmrCC/rmrDSM attribute RMR charges to the cell they were incurred on
+	// (the per-process counters answer "who paid", these answer "where").
+	// They are bumped inside branches that already execute on a charge, so
+	// the disabled-tracing hot path is unchanged.
+	rmrCC  int
+	rmrDSM int
 }
 
 var _ memory.Cell = (*simCell)(nil)

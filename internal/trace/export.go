@@ -1,0 +1,337 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"rme/internal/memory"
+	"rme/internal/sim"
+	"rme/internal/word"
+)
+
+// Format selects a trace file encoding.
+type Format int
+
+// Supported encodings.
+const (
+	// FormatJSONL writes one JSON object per line: a "run" header followed
+	// by its "event" records. Greppable, streamable, round-trips through
+	// ReadJSONL.
+	FormatJSONL Format = iota + 1
+	// FormatChrome writes Chrome trace_event JSON ({"traceEvents": [...]}),
+	// loadable in Perfetto or chrome://tracing. Runs map to pids, processes
+	// to tids, and the deterministic event sequence number serves as the
+	// timestamp, so identical executions produce identical files.
+	FormatChrome
+)
+
+// String returns the flag spelling of the format.
+func (f Format) String() string {
+	switch f {
+	case FormatJSONL:
+		return "jsonl"
+	case FormatChrome:
+		return "chrome"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// ParseFormat parses a -traceformat flag value.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "jsonl", "":
+		return FormatJSONL, nil
+	case "chrome":
+		return FormatChrome, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown format %q (want jsonl or chrome)", s)
+	}
+}
+
+// Write serializes the runs in the given format. Output is a pure function
+// of the runs: byte-identical inputs produce byte-identical files.
+func Write(w io.Writer, f Format, runs []Run) error {
+	switch f {
+	case FormatJSONL:
+		return writeJSONL(w, runs)
+	case FormatChrome:
+		return writeChrome(w, runs)
+	default:
+		return fmt.Errorf("trace: unknown format %v", f)
+	}
+}
+
+// WriteFile serializes the runs to a file.
+func WriteFile(path string, f Format, runs []Run) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(file)
+	if err := Write(bw, f, runs); err != nil {
+		file.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// --- JSONL ------------------------------------------------------------------
+
+// jsonlRun is the per-run header line.
+type jsonlRun struct {
+	Type  string `json:"type"` // "run"
+	Index int    `json:"index"`
+	Label string `json:"label,omitempty"`
+	Procs int    `json:"procs"`
+	Model string `json:"model"`
+}
+
+// jsonlEvent is one event line. Op is the operation's String rendering:
+// readable and stable, but not re-executable — custom-op transitions cannot
+// be serialized, so decoding is lossy in Op (attribution needs only the
+// kind, cell, and RMR flags, which round-trip exactly).
+type jsonlEvent struct {
+	Type   string `json:"type"` // "event"
+	Seq    int    `json:"seq"`
+	Kind   string `json:"kind"`
+	Proc   int    `json:"proc"`
+	Cell   int    `json:"cell,omitempty"`
+	Label  string `json:"label,omitempty"`
+	Op     string `json:"op,omitempty"`
+	Before uint64 `json:"before,omitempty"`
+	After  uint64 `json:"after,omitempty"`
+	Ret    uint64 `json:"ret,omitempty"`
+	RMRCC  bool   `json:"rmr_cc,omitempty"`
+	RMRDSM bool   `json:"rmr_dsm,omitempty"`
+	Spin   bool   `json:"spin,omitempty"`
+	Parked bool   `json:"parked,omitempty"`
+	Note   string `json:"note,omitempty"`
+}
+
+func kindName(k sim.EventKind) string {
+	switch k {
+	case sim.EvStep:
+		return "step"
+	case sim.EvCrash:
+		return "crash"
+	case sim.EvMark:
+		return "mark"
+	case sim.EvWake:
+		return "wake"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+func parseKind(s string) (sim.EventKind, error) {
+	switch s {
+	case "step":
+		return sim.EvStep, nil
+	case "crash":
+		return sim.EvCrash, nil
+	case "mark":
+		return sim.EvMark, nil
+	case "wake":
+		return sim.EvWake, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown event kind %q", s)
+	}
+}
+
+func writeJSONL(w io.Writer, runs []Run) error {
+	enc := json.NewEncoder(w)
+	for _, r := range runs {
+		if err := enc.Encode(jsonlRun{Type: "run", Index: r.Index, Label: r.Label, Procs: r.Procs, Model: r.Model.String()}); err != nil {
+			return err
+		}
+		for _, ev := range r.Events {
+			line := jsonlEvent{
+				Type: "event", Seq: ev.Seq, Kind: kindName(ev.Kind), Proc: ev.Proc,
+				Note: ev.Note, Parked: ev.Parked,
+			}
+			if ev.Kind == sim.EvStep || ev.Kind == sim.EvWake {
+				line.Cell = ev.Cell
+				line.Label = ev.CellLabel
+				line.RMRCC = ev.RMRCC
+				line.RMRDSM = ev.RMRDSM
+			}
+			if ev.Kind == sim.EvStep {
+				line.Op = ev.Op.String()
+				line.Before = uint64(ev.Before)
+				line.After = uint64(ev.After)
+				line.Ret = uint64(ev.Ret)
+				line.Spin = ev.Spin
+			}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadJSONL decodes a JSONL trace back into runs. Event Op fields are
+// restored as named custom operations (display-only; see jsonlEvent).
+func ReadJSONL(r io.Reader) ([]Run, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var runs []Run
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		switch probe.Type {
+		case "run":
+			var h jsonlRun
+			if err := json.Unmarshal(raw, &h); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			model := sim.CC
+			if h.Model == sim.DSM.String() {
+				model = sim.DSM
+			}
+			runs = append(runs, Run{Index: h.Index, Label: h.Label, Procs: h.Procs, Model: model})
+		case "event":
+			if len(runs) == 0 {
+				return nil, fmt.Errorf("trace: line %d: event before any run header", lineNo)
+			}
+			var e jsonlEvent
+			if err := json.Unmarshal(raw, &e); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			kind, err := parseKind(e.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			ev := sim.Event{
+				Seq: e.Seq, Kind: kind, Proc: e.Proc,
+				Cell: e.Cell, CellLabel: e.Label,
+				Before: word.Word(e.Before), After: word.Word(e.After), Ret: word.Word(e.Ret),
+				RMRCC: e.RMRCC, RMRDSM: e.RMRDSM, Spin: e.Spin, Parked: e.Parked, Note: e.Note,
+			}
+			if kind == sim.EvStep && e.Op != "" {
+				ev.Op = memory.Op{Code: memory.OpCustom, Name: e.Op}
+			}
+			r := &runs[len(runs)-1]
+			r.Events = append(r.Events, ev)
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown record type %q", lineNo, probe.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// --- Chrome trace_event -----------------------------------------------------
+
+// chromeEvent is one trace_event entry; see the trace_event format spec.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int            `json:"ts"`
+	Dur   int            `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// writeChrome emits the runs as a trace_event JSON document. Event Seq is
+// used as the microsecond timestamp: deterministic, ordered, and dense
+// enough for Perfetto's timeline. Each run becomes one "process" whose name
+// metadata carries the run label; each simulated process becomes a thread.
+func writeChrome(w io.Writer, runs []Run) error {
+	events := make([]chromeEvent, 0, 64)
+	for _, r := range runs {
+		events = append(events, chromeEvent{
+			Name: "process_name", Phase: "M", PID: r.Index, TID: 0,
+			Args: map[string]any{"name": fmt.Sprintf("run %d: %s (%s, n=%d)", r.Index, r.Label, r.Model, r.Procs)},
+		})
+		for p := 0; p < r.Procs; p++ {
+			events = append(events, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: r.Index, TID: p,
+				Args: map[string]any{"name": fmt.Sprintf("p%d", p)},
+			})
+		}
+		for _, ev := range r.Events {
+			switch ev.Kind {
+			case sim.EvStep:
+				args := map[string]any{
+					"cell":   ev.CellLabel,
+					"before": uint64(ev.Before),
+					"after":  uint64(ev.After),
+					"ret":    uint64(ev.Ret),
+				}
+				if ev.RMRCC {
+					args["rmr_cc"] = true
+				}
+				if ev.RMRDSM {
+					args["rmr_dsm"] = true
+				}
+				if ev.Parked {
+					args["parked"] = true
+				}
+				cat := "step"
+				if ev.RMRCC || ev.RMRDSM {
+					cat = "step,rmr"
+				}
+				events = append(events, chromeEvent{
+					Name: fmt.Sprintf("%s %s", ev.Op, ev.CellLabel), Cat: cat,
+					Phase: "X", TS: ev.Seq, Dur: 1, PID: r.Index, TID: ev.Proc, Args: args,
+				})
+			case sim.EvCrash:
+				events = append(events, chromeEvent{
+					Name: "CRASH", Cat: "crash", Phase: "i", TS: ev.Seq,
+					PID: r.Index, TID: ev.Proc, Scope: "t",
+				})
+			case sim.EvMark:
+				events = append(events, chromeEvent{
+					Name: ev.Note, Cat: "mark", Phase: "i", TS: ev.Seq,
+					PID: r.Index, TID: ev.Proc, Scope: "t",
+				})
+			case sim.EvWake:
+				args := map[string]any{"cell": ev.CellLabel}
+				if ev.RMRCC {
+					args["rmr_cc"] = true
+				}
+				if ev.RMRDSM {
+					args["rmr_dsm"] = true
+				}
+				if ev.Parked {
+					args["still_parked"] = true
+				}
+				events = append(events, chromeEvent{
+					Name: fmt.Sprintf("recheck %s", ev.CellLabel), Cat: "wake",
+					Phase: "X", TS: ev.Seq, Dur: 1, PID: r.Index, TID: ev.Proc, Args: args,
+				})
+			}
+		}
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
