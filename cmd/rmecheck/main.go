@@ -6,7 +6,15 @@
 // Usage:
 //
 //	rmecheck [-alg watree] [-n 2] [-w 8] [-model cc] [-crashes 1] [-max 50000] [-stress 200] [-seed S] [-parallel N]
+//	         [-memo] [-por] [-snapshot K] [-maxstates N] [-json]
 //	         [-trace FILE] [-traceformat jsonl|chrome] [-top N]
+//
+// The exhaustive search runs stateful by default: visited-state memoization
+// (-memo) and sleep-set partial-order reduction (-por) prune redundant
+// interleavings, and a checkpoint stack (-snapshot) bounds backtracking
+// replay. Disable both (-memo=false -por=false) to enumerate raw schedules
+// like the reference explorer. -json emits one JSON report on stdout instead
+// of text; both are byte-identical at any -parallel value.
 //
 // The checker itself runs trace-free (it replays millions of branches);
 // -trace exports the step-level story of the crash-free round-robin
@@ -15,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +55,49 @@ func main() {
 	}
 }
 
+// searchReport is the JSON shape of one search phase's Result.
+type searchReport struct {
+	Complete       int      `json:"complete"`
+	Truncated      bool     `json:"truncated"`
+	DepthTruncated int      `json:"depth_truncated"`
+	StatesVisited  int      `json:"states_visited"`
+	StatesPruned   int      `json:"states_pruned"`
+	SleepPruned    int      `json:"sleep_pruned"`
+	MachineSteps   int64    `json:"machine_steps"`
+	ReplaySteps    int64    `json:"replay_steps"`
+	Violations     []string `json:"violations,omitempty"`
+	Deadlocks      []string `json:"deadlocks,omitempty"`
+}
+
+func toReport(res *check.Result) searchReport {
+	return searchReport{
+		Complete:       res.Complete,
+		Truncated:      res.Truncated,
+		DepthTruncated: res.DepthTruncated,
+		StatesVisited:  res.StatesVisited,
+		StatesPruned:   res.StatesPruned,
+		SleepPruned:    res.SleepPruned,
+		MachineSteps:   res.MachineSteps,
+		ReplaySteps:    res.ReplaySteps,
+		Violations:     res.Violations,
+		Deadlocks:      res.Deadlocks,
+	}
+}
+
+// jsonReport is the complete -json document.
+type jsonReport struct {
+	Algorithm  string        `json:"algorithm"`
+	Procs      int           `json:"procs"`
+	Width      int           `json:"width"`
+	Model      string        `json:"model"`
+	Crashes    int           `json:"crashes"`
+	Memo       bool          `json:"memo"`
+	POR        bool          `json:"por"`
+	Exhaustive searchReport  `json:"exhaustive"`
+	Stress     *searchReport `json:"stress,omitempty"`
+	OK         bool          `json:"ok"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("rmecheck", flag.ContinueOnError)
 	algName := fs.String("alg", "watree", "algorithm: tas, ticket, mcs, clh, tournament, grlock, rspin, watree")
@@ -55,8 +107,13 @@ func run(args []string) error {
 	crashes := fs.Int("crashes", 1, "crash steps per process to branch over (recoverable algorithms)")
 	maxSched := fs.Int("max", 50_000, "exhaustive schedule cap")
 	stress := fs.Int("stress", 200, "randomized stress seeds (0 to skip)")
-	parallel := fs.Int("parallel", 0, "stress workers (0 = GOMAXPROCS); results are seed-deterministic at any value")
+	parallel := fs.Int("parallel", 0, "search/stress workers (0 = GOMAXPROCS); results are identical at any value")
 	seed := fs.Int64("seed", 0, "offset for the stress schedule seeds (0 = the default sample)")
+	memo := fs.Bool("memo", true, "memoize visited canonical states (fingerprint pruning)")
+	por := fs.Bool("por", true, "sleep-set partial-order reduction over step footprints")
+	snapshot := fs.Int("snapshot", check.DefaultSnapshotInterval, "checkpoint spacing for backtrack restores (negative = replay from the root)")
+	maxStates := fs.Int("maxstates", check.DefaultMaxStates, "visited-state cap for -memo")
+	jsonOut := fs.Bool("json", false, "emit one JSON report on stdout instead of text")
 	tracePath := fs.String("trace", "", "export a step-level trace of the crash-free reference run to this file")
 	traceFormat := fs.String("traceformat", "jsonl", "trace encoding: jsonl or chrome (Perfetto)")
 	top := fs.Int("top", 0, "print the N hottest cells/procs of the reference run to stderr (0 = off)")
@@ -84,10 +141,14 @@ func run(args []string) error {
 		Session: mutex.Config{
 			Procs: *n, Width: word.Width(*w), Model: model, Algorithm: alg,
 		},
-		MaxSchedules:   *maxSched,
-		CrashesPerProc: *crashes,
-		Parallel:       *parallel,
-		Seed:           *seed,
+		MaxSchedules:     *maxSched,
+		CrashesPerProc:   *crashes,
+		Parallel:         *parallel,
+		Seed:             *seed,
+		Memo:             *memo,
+		POR:              *por,
+		SnapshotInterval: *snapshot,
+		MaxStates:        *maxStates,
 	}
 
 	if *tracePath != "" || *top > 0 {
@@ -96,13 +157,24 @@ func run(args []string) error {
 		}
 	}
 
-	fmt.Printf("exhaustive: %s n=%d w=%d model=%s crashes<=%d\n", alg.Name(), *n, *w, model, *crashes)
+	if *jsonOut {
+		return runJSON(cfg, alg.Name(), model, *crashes, *stress)
+	}
+
+	fmt.Printf("exhaustive: %s n=%d w=%d model=%s crashes<=%d memo=%v por=%v\n",
+		alg.Name(), *n, *w, model, *crashes, *memo, *por)
 	start := time.Now()
 	res, err := check.Exhaustive(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  %d complete schedules (truncated: %v)\n", res.Complete, res.Truncated)
+	fmt.Printf("  %d complete schedules (truncated: %v, depth-truncated prefixes: %d)\n",
+		res.Complete, res.Truncated, res.DepthTruncated)
+	if *memo {
+		fmt.Printf("  states: %d visited, %d revisits pruned, %d sleep-set skips\n",
+			res.StatesVisited, res.StatesPruned, res.SleepPruned)
+	}
+	fmt.Printf("  steps: %d machine, %d replay\n", res.MachineSteps, res.ReplaySteps)
 	// Timing goes to stderr: stdout is byte-identical at any -parallel value.
 	fmt.Fprintf(os.Stderr, "  (exhaustive in %v)\n", time.Since(start).Round(time.Millisecond))
 	if err := report(res); err != nil {
@@ -122,6 +194,38 @@ func run(args []string) error {
 	}
 	fmt.Println("OK")
 	return nil
+}
+
+// runJSON runs the same phases as the text path but emits one JSON document.
+func runJSON(cfg check.Config, algName string, model sim.Model, crashes, stress int) error {
+	res, err := check.Exhaustive(cfg)
+	if err != nil {
+		return err
+	}
+	doc := jsonReport{
+		Algorithm: algName, Procs: cfg.Session.Procs, Width: int(cfg.Session.Width),
+		Model: model.String(), Crashes: crashes, Memo: cfg.Memo, POR: cfg.POR,
+		Exhaustive: toReport(res), OK: res.Ok(),
+	}
+	firstErr := res.Err()
+	if stress > 0 {
+		sres, err := check.Stress(cfg, stress, 0.05)
+		if err != nil {
+			return err
+		}
+		sr := toReport(sres)
+		doc.Stress = &sr
+		doc.OK = doc.OK && sres.Ok()
+		if firstErr == nil {
+			firstErr = sres.Err()
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	return firstErr
 }
 
 // traceReference runs the checked configuration crash-free round-robin on a

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -55,5 +57,83 @@ func TestStdoutParityAcrossParallelism(t *testing.T) {
 	}
 	if len(one) == 0 {
 		t.Fatal("no output captured")
+	}
+}
+
+// TestJSONParityAcrossParallelism extends the stdout contract to -json: the
+// whole document, including the search statistics, must be byte-identical at
+// any -parallel value.
+func TestJSONParityAcrossParallelism(t *testing.T) {
+	args := []string{"-alg", "yatree", "-n", "2", "-w", "8", "-crashes", "1", "-max", "20000", "-stress", "50", "-json"}
+	one, err := captureStdout(t, func() error { return run(append([]string{"-parallel", "1"}, args...)) })
+	if err != nil {
+		t.Fatalf("-parallel 1: %v", err)
+	}
+	eight, err := captureStdout(t, func() error { return run(append([]string{"-parallel", "8"}, args...)) })
+	if err != nil {
+		t.Fatalf("-parallel 8: %v", err)
+	}
+	if one != eight {
+		t.Fatalf("JSON differs between -parallel 1 and 8:\n--- parallel 1 ---\n%s\n--- parallel 8 ---\n%s", one, eight)
+	}
+}
+
+// TestJSONReportShape decodes the -json document and checks the stateful
+// search statistics made it through with sane values.
+func TestJSONReportShape(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-alg", "yatree", "-n", "2", "-crashes", "1", "-max", "20000", "-stress", "0", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc jsonReport
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, out)
+	}
+	if !doc.OK || doc.Algorithm != "yatree" || !doc.Memo || !doc.POR {
+		t.Fatalf("unexpected report header: %+v", doc)
+	}
+	ex := doc.Exhaustive
+	if ex.StatesVisited == 0 || ex.Complete == 0 {
+		t.Fatalf("missing search statistics: %+v", ex)
+	}
+	if ex.Truncated || ex.DepthTruncated != 0 {
+		t.Fatalf("unexpected truncation on a completing search: %+v", ex)
+	}
+	if ex.MachineSteps < ex.ReplaySteps || ex.MachineSteps == 0 {
+		t.Fatalf("implausible step accounting: %+v", ex)
+	}
+	if doc.Stress != nil {
+		t.Fatal("stress report present despite -stress 0")
+	}
+}
+
+// TestTextOutputSurfacesSearchStats: the text report must show the
+// depth-truncation count and, when memoizing, the state statistics; with the
+// reductions off the state line disappears and the run still passes.
+func TestTextOutputSurfacesSearchStats(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-alg", "ticket", "-n", "2", "-crashes", "0", "-stress", "0"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"memo=true por=true", "depth-truncated prefixes: 0", "states: ", "steps: ", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+	plain, err := captureStdout(t, func() error {
+		return run([]string{"-alg", "ticket", "-n", "2", "-crashes", "0", "-stress", "0", "-memo=false", "-por=false"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain, "states: ") {
+		t.Fatalf("plain mode printed memo statistics:\n%s", plain)
+	}
+	if !strings.Contains(plain, "memo=false por=false") || !strings.Contains(plain, "OK") {
+		t.Fatalf("plain run output unexpected:\n%s", plain)
 	}
 }

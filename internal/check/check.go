@@ -1,14 +1,19 @@
-// Package check verifies mutual exclusion algorithms by bounded-exhaustive
-// interleaving exploration and randomized stress, on top of the per-step
-// safety monitors of package mutex.
+// Package check verifies mutual exclusion algorithms by stateful
+// bounded-exhaustive interleaving exploration and randomized stress, on top
+// of the per-step safety monitors of package mutex.
 //
 // The exhaustive explorer enumerates scheduler decisions (which poised
 // process steps next; optionally, whether it crashes instead) by depth-first
-// search over schedule prefixes, rebuilding the deterministic machine for
-// each branch. Every complete schedule is checked for mutual exclusion and
-// critical-section re-entry (the driver's monitors) and for progress (no
-// deadlock). The search is exact up to its caps: if it finishes without
-// truncation, every schedule of the configuration was explored.
+// search. Unlike a stateless schedule-prefix search, the explorer is
+// incremental: it steps a live machine forward along the current branch and
+// restores on backtrack from a checkpoint stack of trailing sessions,
+// replaying prefixes only across snapshot gaps. With Memo it fingerprints
+// every canonical state (sim.Machine.Fingerprint mixed with the monitor's CS
+// ownership) and prunes interleavings that converge on a visited state; with
+// POR it additionally skips sleep-set branches whose effect is covered by a
+// commuting sibling explored earlier. The search is exact up to its caps: if
+// it finishes without truncation, every reachable canonical state of the
+// configuration was explored.
 package check
 
 import (
@@ -25,22 +30,48 @@ type Config struct {
 	// Session is the algorithm/machine configuration (Passes defaults to 1).
 	Session mutex.Config
 	// MaxSchedules caps the number of complete schedules explored
-	// (default 50000).
+	// (default 50000). The budget is split evenly over the root branch set,
+	// so results are byte-identical at any Parallel value.
 	MaxSchedules int
 	// MaxDepth caps the schedule length (default 400).
 	MaxDepth int
 	// CrashesPerProc > 0 additionally branches on crash steps (recoverable
 	// algorithms only), up to the given number of crashes per process.
 	CrashesPerProc int
-	// Parallel is the worker count for Stress (<= 0 means GOMAXPROCS).
-	// Exhaustive is a sequential DFS; it instead reuses one machine across
-	// branches via the engine's reset-reuse worker.
+	// Parallel is the worker count for Stress and for the exhaustive
+	// explorer's root-branch fan-out (<= 0 means GOMAXPROCS). Both merge
+	// results in submission order, so output is identical at any value.
 	Parallel int
 	// Seed offsets the seeds Stress derives its random schedules from, so
-	// repeated runs can cover disjoint deterministic samples. Exhaustive
-	// enumeration ignores it.
+	// repeated runs can cover disjoint deterministic samples. The exhaustive
+	// explorer folds it into its fingerprint seed but enumerates the same
+	// schedule tree regardless.
 	Seed int64
+
+	// Memo enables visited-state memoization: canonical states are
+	// fingerprinted and a state reached twice is explored once. Complete then
+	// counts distinct terminal states rather than complete schedules.
+	Memo bool
+	// POR enables sleep-set partial-order reduction: a step branch is skipped
+	// when a commuting sibling (disjoint cell footprints, or both reads of
+	// one cell) was already explored and no process is in a multi-cell wait.
+	// Crash branches are never reduced.
+	POR bool
+	// SnapshotInterval is the checkpoint spacing K of the incremental
+	// explorer: restores replay at most ~K actions when a trailing checkpoint
+	// is fresh, and full-prefix replays rebuild one checkpoint en route.
+	// 0 means DefaultSnapshotInterval; negative disables checkpoints.
+	SnapshotInterval int
+	// MaxStates caps the visited-state set under Memo (default 4,000,000,
+	// split over root branches like MaxSchedules). 0 means the default.
+	MaxStates int
 }
+
+// Default caps for the stateful explorer.
+const (
+	DefaultSnapshotInterval = 32
+	DefaultMaxStates        = 4_000_000
+)
 
 func (c Config) withDefaults() Config {
 	if c.MaxSchedules == 0 {
@@ -48,6 +79,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxDepth == 0 {
 		c.MaxDepth = 400
+	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = DefaultSnapshotInterval
+	}
+	if c.MaxStates == 0 {
+		c.MaxStates = DefaultMaxStates
 	}
 	if c.Session.Passes == 0 {
 		c.Session.Passes = 1
@@ -58,15 +95,42 @@ func (c Config) withDefaults() Config {
 
 // Result reports a check run.
 type Result struct {
-	// Complete counts fully-explored schedules (all processes finished).
+	// Complete counts fully-explored terminal points: complete schedules
+	// (all processes finished) without Memo, distinct all-done canonical
+	// states with it.
 	Complete int
-	// Truncated reports whether a cap stopped the search before covering
-	// the whole schedule space.
+	// Truncated reports whether a cap (MaxSchedules, MaxStates, or MaxDepth)
+	// stopped the search before covering the whole schedule space.
 	Truncated bool
-	// Violations lists safety failures with their schedules.
-	Violations []string
-	// Deadlocks lists schedules that wedged the system.
-	Deadlocks []string
+	// DepthTruncated counts schedule prefixes cut at MaxDepth. The seed
+	// explorer silently dropped these; any nonzero count voids exhaustive
+	// claims, so it is reported separately and surfaced by cmd/rmecheck.
+	DepthTruncated int
+	// Violations lists safety failures with their schedules;
+	// ViolationSchedules carries the same counterexamples structurally, so
+	// they can be replayed without re-parsing the message text.
+	Violations         []string
+	ViolationSchedules []sim.Schedule
+	// Deadlocks lists schedules that wedged the system, with
+	// DeadlockSchedules the structural counterparts.
+	Deadlocks         []string
+	DeadlockSchedules []sim.Schedule
+
+	// StatesVisited counts canonical states expanded by the explorer
+	// (terminal states included) under Memo; 0 without Memo.
+	StatesVisited int
+	// StatesPruned counts search nodes skipped because their canonical state
+	// was already explored.
+	StatesPruned int
+	// SleepPruned counts step branches skipped by the sleep-set reduction.
+	SleepPruned int
+	// MachineSteps counts every simulator action the search executed,
+	// exploration and restoration alike — the cost measure the incremental
+	// explorer is benchmarked on against the seed's stateless replay.
+	MachineSteps int64
+	// ReplaySteps is the subset of MachineSteps spent restoring states on
+	// backtrack (checkpoint advance and prefix replay).
+	ReplaySteps int64
 }
 
 // Ok reports whether no violation or deadlock was found.
@@ -87,130 +151,97 @@ func (r *Result) Err() error {
 		len(r.Violations), len(r.Deadlocks), msg)
 }
 
-// Exhaustive runs the bounded-exhaustive search. The DFS replays every
-// schedule prefix on a single recycled machine (engine.Worker reset-reuse)
-// instead of constructing a fresh one per branch.
+// merge folds a root-branch sub-result into r in submission order.
+func (r *Result) merge(b *Result) {
+	r.Complete += b.Complete
+	r.Truncated = r.Truncated || b.Truncated
+	r.DepthTruncated += b.DepthTruncated
+	r.Violations = append(r.Violations, b.Violations...)
+	r.ViolationSchedules = append(r.ViolationSchedules, b.ViolationSchedules...)
+	r.Deadlocks = append(r.Deadlocks, b.Deadlocks...)
+	r.DeadlockSchedules = append(r.DeadlockSchedules, b.DeadlockSchedules...)
+	r.StatesVisited += b.StatesVisited
+	r.StatesPruned += b.StatesPruned
+	r.SleepPruned += b.SleepPruned
+	r.MachineSteps += b.MachineSteps
+	r.ReplaySteps += b.ReplaySteps
+}
+
+// Exhaustive runs the bounded-exhaustive search with the configured
+// reductions. The root branch set is fanned out over engine workers
+// (Config.Parallel) with per-branch budget slices and per-branch visited
+// sets; sub-results merge in branch order, so the Result is byte-identical
+// at any parallelism level. Branch enumeration order matches
+// ExhaustiveReference exactly, so with Memo and POR off the two agree on
+// every field.
 func Exhaustive(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Session.Validate(); err != nil {
 		return nil, err
 	}
-	e := &explorer{cfg: cfg, res: &Result{}, worker: engine.NewWorker()}
-	defer e.worker.Close()
-	if err := e.explore(nil); err != nil {
+
+	// Examine the root state once: branch set, footprints, and the degenerate
+	// verdicts (a machine that wedges or finishes before its first action).
+	root, err := mutex.NewSession(cfg.Session)
+	if err != nil {
 		return nil, err
 	}
-	return e.res, nil
-}
-
-type explorer struct {
-	cfg    Config
-	res    *Result
-	worker *engine.Worker
-}
-
-// explore examines the execution reached by prefix, branching over every
-// enabled action.
-func (e *explorer) explore(prefix sim.Schedule) error {
-	if e.res.Complete >= e.cfg.MaxSchedules {
-		e.res.Truncated = true
-		return nil
+	res := &Result{}
+	if v := root.Violations(); len(v) > 0 {
+		res.Violations = append(res.Violations, fmt.Sprintf("%s [schedule ]", v[0]))
+		res.ViolationSchedules = append(res.ViolationSchedules, sim.Schedule{})
+		root.Close()
+		return res, nil
 	}
+	if root.Machine().AllDone() {
+		res.Complete = 1
+		root.Close()
+		return res, nil
+	}
+	branches := enumerateBranches(cfg, root)
+	if len(branches) == 0 {
+		res.Deadlocks = append(res.Deadlocks, sim.Schedule{}.String())
+		res.DeadlockSchedules = append(res.DeadlockSchedules, sim.Schedule{})
+		root.Close()
+		return res, nil
+	}
+	sleeps := rootSleepMasks(cfg, root, branches)
+	root.Close()
 
-	s, err := e.worker.Session(e.cfg.Session)
-	if err != nil {
+	subs := make([]*Result, len(branches))
+	scheduleSlice := ceilDiv(cfg.MaxSchedules, len(branches))
+	stateSlice := ceilDiv(cfg.MaxStates, len(branches))
+	err = engine.ForEach(len(branches), cfg.Parallel, func(i int) error {
+		e := newExplorer(cfg, scheduleSlice, stateSlice)
+		defer e.close()
+		sub, err := e.run(branches[i], sleeps[i])
+		subs[i] = sub
 		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	release := func() { e.worker.Release(s) }
-	if err := applyPrefix(s, prefix); err != nil {
-		release()
-		// The prefix was validated when it was constructed; failure here is
-		// an internal error.
-		return fmt.Errorf("check: replaying prefix %v: %w", prefix, err)
+	for _, sub := range subs {
+		res.merge(sub)
 	}
-	if v := s.Violations(); len(v) > 0 {
-		e.res.Violations = append(e.res.Violations,
-			fmt.Sprintf("%s [schedule %s]", v[0], prefix))
-		release()
-		return nil
-	}
-
-	m := s.Machine()
-	if m.AllDone() {
-		e.res.Complete++
-		release()
-		return nil
-	}
-	poised := m.PoisedProcs()
-	if len(poised) == 0 {
-		e.res.Deadlocks = append(e.res.Deadlocks, prefix.String())
-		release()
-		return nil
-	}
-	if len(prefix) >= e.cfg.MaxDepth {
-		e.res.Truncated = true
-		release()
-		return nil
-	}
-
-	// Snapshot the branch set before recursing: child explorations recycle
-	// this worker's machine, so m is invalid once the first child runs.
-	recoverable := e.cfg.Session.Algorithm.Recoverable()
-	branches := make([]sim.Action, 0, 2*len(poised))
-	for _, p := range poised {
-		branches = append(branches, sim.Action{Proc: p})
-		if recoverable && e.cfg.CrashesPerProc > 0 && m.Crashes(p) < e.cfg.CrashesPerProc {
-			branches = append(branches, sim.Action{Proc: p, Crash: true})
-		}
-	}
-	// Crash branching for parked processes (they have no step branch but
-	// can still crash).
-	if recoverable && e.cfg.CrashesPerProc > 0 {
-		for p := 0; p < e.cfg.Session.Procs; p++ {
-			if m.ProcDone(p) || !m.Parked(p) || m.Crashes(p) >= e.cfg.CrashesPerProc {
-				continue
-			}
-			branches = append(branches, sim.Action{Proc: p, Crash: true})
-		}
-	}
-	release()
-
-	for _, act := range branches {
-		next := append(prefix.Clone(), act)
-		if err := e.explore(next); err != nil {
-			return err
-		}
-	}
-	return nil
+	return res, nil
 }
 
-func applyPrefix(s *mutex.Session, prefix sim.Schedule) error {
-	for _, act := range prefix {
-		var err error
-		if act.Crash {
-			_, err = s.CrashProc(act.Proc)
-		} else {
-			_, err = s.StepProc(act.Proc)
-		}
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 // Stress runs many randomized schedules (with optional crash injection) and
 // aggregates failures. Seeds are distributed over cfg.Parallel engine
 // workers; each seed's run is a pure function of its seed, so the aggregate
-// is identical at any parallelism level.
+// is identical at any parallelism level. Failures carry the full executed
+// schedule, so every stress counterexample is replayable.
 func Stress(cfg Config, seeds int, crashProb float64) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Session.Validate(); err != nil {
 		return nil, err
 	}
-	// Stuck schedules are read inside Drive (before the session is
+	// Failure schedules are read inside Drive (before the session is
 	// recycled) and reported by seed index afterwards.
-	stuck := make([]string, seeds)
+	scheds := make([]sim.Schedule, seeds)
 	specs := make([]engine.RunSpec, seeds)
 	for seed := 0; seed < seeds; seed++ {
 		seed := seed
@@ -221,8 +252,8 @@ func Stress(cfg Config, seeds int, crashProb float64) (*Result, error) {
 					CrashProb:         crashProb,
 					MaxCrashesPerProc: cfg.CrashesPerProc,
 				})
-				if errors.Is(err, mutex.ErrStuck) {
-					stuck[seed] = s.Machine().Schedule().String()
+				if err != nil {
+					scheds[seed] = s.Machine().Schedule()
 				}
 				return err
 			},
@@ -234,9 +265,12 @@ func Stress(cfg Config, seeds int, crashProb float64) (*Result, error) {
 		case r.Err == nil:
 			res.Complete++
 		case errors.Is(r.Err, mutex.ErrStuck):
-			res.Deadlocks = append(res.Deadlocks, fmt.Sprintf("seed %d: %s", seed, stuck[seed]))
+			res.Deadlocks = append(res.Deadlocks, fmt.Sprintf("seed %d: %s", seed, scheds[seed]))
+			res.DeadlockSchedules = append(res.DeadlockSchedules, scheds[seed])
 		default:
-			res.Violations = append(res.Violations, fmt.Sprintf("seed %d: %v", seed, r.Err))
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("seed %d: %v [schedule %s]", seed, r.Err, scheds[seed]))
+			res.ViolationSchedules = append(res.ViolationSchedules, scheds[seed])
 		}
 	}
 	return res, nil

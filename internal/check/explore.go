@@ -1,0 +1,403 @@
+package check
+
+import (
+	"fmt"
+
+	"rme/internal/mutex"
+	"rme/internal/sim"
+)
+
+// fpSeedSalt decorrelates the checker's fingerprint seed from the zero seed
+// most callers pass, so visited-set keys are never raw unseeded hashes.
+const fpSeedSalt = 0x524d_4543_4845_434b // "RMECHECK"
+
+// maskProcs is the widest process count the uint64 sleep masks cover; POR
+// degrades to off beyond it (exhaustive search at that scale is hopeless
+// anyway, but the explorer must stay sound if asked).
+const maskProcs = 64
+
+// explorer is the stateful DFS for one root branch. It keeps a live session
+// positioned at the current search node, stepping forward into each first
+// child for free; backtracking restores the node from the deepest fresh
+// checkpoint (a trailing session left at a shallower prefix) or, failing
+// that, by replaying the prefix from the root — rebuilding one checkpoint en
+// route so later siblings backtrack cheaply.
+type explorer struct {
+	cfg         Config
+	res         *Result
+	maxComplete int
+	maxStates   int
+	recoverable bool
+	fpSeed      uint64
+
+	// visited maps canonical-state fingerprints to the sleep mask the state
+	// was explored under (0 = explored in full). A revisit is pruned only if
+	// its own mask covers the stored one; otherwise the state is re-explored
+	// under the intersection, which shrinks monotonically, so the search
+	// terminates.
+	visited map[sim.Fingerprint]uint64
+
+	// path is the action sequence from the root to the live session's state.
+	path sim.Schedule
+	live *mutex.Session
+	// free pools sessions released by consumed or invalidated checkpoints.
+	free []*mutex.Session
+	// cps holds trailing checkpoints in strictly increasing depth; every
+	// entry's prefix path[:depth] matches the current path (restore drops
+	// entries from abandoned subtrees before they could go stale).
+	cps []checkpoint
+}
+
+type checkpoint struct {
+	depth int
+	sess  *mutex.Session
+}
+
+func newExplorer(cfg Config, maxComplete, maxStates int) *explorer {
+	e := &explorer{
+		cfg:         cfg,
+		res:         &Result{},
+		maxComplete: maxComplete,
+		maxStates:   maxStates,
+		recoverable: cfg.Session.Algorithm.Recoverable(),
+		fpSeed:      fpSeedSalt ^ uint64(cfg.Seed),
+	}
+	if cfg.Memo {
+		e.visited = make(map[sim.Fingerprint]uint64)
+	}
+	return e
+}
+
+func (e *explorer) close() {
+	if e.live != nil {
+		e.live.Close()
+	}
+	for _, s := range e.free {
+		s.Close()
+	}
+	for _, cp := range e.cps {
+		cp.sess.Close()
+	}
+}
+
+// run explores the subtree under one root action and returns the sub-result.
+func (e *explorer) run(act sim.Action, sleep uint64) (*Result, error) {
+	s, err := e.session()
+	if err != nil {
+		return e.res, err
+	}
+	e.live = s
+	if err := e.advance(act); err != nil {
+		return e.res, err
+	}
+	return e.res, e.explore(sleep)
+}
+
+// session returns a pooled session reset to the root state, or a new one.
+func (e *explorer) session() (*mutex.Session, error) {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		if err := s.Reset(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return mutex.NewSession(e.cfg.Session)
+}
+
+// advance executes act on the live session and extends the path.
+func (e *explorer) advance(act sim.Action) error {
+	var err error
+	if act.Crash {
+		_, err = e.live.CrashProc(act.Proc)
+	} else {
+		_, err = e.live.StepProc(act.Proc)
+	}
+	if err != nil {
+		// Branches are enumerated from enabled actions; failure to take one
+		// is an internal error.
+		return fmt.Errorf("check: applying %v after %v: %w", act, e.path, err)
+	}
+	e.res.MachineSteps++
+	e.path = append(e.path, act)
+	return nil
+}
+
+// replay applies path[from:to] to s, which must be at state path[:from].
+func (e *explorer) replay(s *mutex.Session, from, to int) error {
+	for _, act := range e.path[from:to] {
+		var err error
+		if act.Crash {
+			_, err = s.CrashProc(act.Proc)
+		} else {
+			_, err = s.StepProc(act.Proc)
+		}
+		if err != nil {
+			return fmt.Errorf("check: replaying prefix %v: %w", e.path[:to], err)
+		}
+		e.res.MachineSteps++
+		e.res.ReplaySteps++
+	}
+	return nil
+}
+
+// restore repositions the live session at the current path (length target),
+// abandoning whatever subtree state it holds. Checkpoints deeper than the
+// target belong to the abandoned subtree and are recycled first; the deepest
+// surviving checkpoint, if any, is consumed and advanced the remaining
+// distance. Otherwise the live session replays the full prefix, and a fresh
+// checkpoint is rebuilt at the last SnapshotInterval boundary below the
+// target so the next backtrack to this neighborhood is cheap again.
+func (e *explorer) restore(target int) error {
+	for n := len(e.cps); n > 0 && e.cps[n-1].depth > target; n = len(e.cps) {
+		e.free = append(e.free, e.cps[n-1].sess)
+		e.cps = e.cps[:n-1]
+	}
+	if n := len(e.cps); n > 0 {
+		cp := e.cps[n-1]
+		e.cps = e.cps[:n-1]
+		e.free = append(e.free, e.live)
+		e.live = cp.sess
+		return e.replay(e.live, cp.depth, target)
+	}
+	if k := e.cfg.SnapshotInterval; k > 0 {
+		c := target - target%k
+		if c == target {
+			c -= k
+		}
+		if c > 0 {
+			cs, err := e.session()
+			if err != nil {
+				return err
+			}
+			if err := e.replay(cs, 0, c); err != nil {
+				return err
+			}
+			e.cps = append(e.cps, checkpoint{depth: c, sess: cs})
+		}
+	}
+	if err := e.live.Reset(); err != nil {
+		return err
+	}
+	return e.replay(e.live, 0, target)
+}
+
+// explore examines the node the live session is positioned at (the state
+// after path), branching over every enabled action not covered by the sleep
+// set. Check order matches ExhaustiveReference (budget, violation, terminal,
+// deadlock, depth), so with Memo and POR off the two produce identical
+// results.
+func (e *explorer) explore(sleep uint64) error {
+	s := e.live
+	if e.res.Complete >= e.maxComplete {
+		e.res.Truncated = true
+		return nil
+	}
+	if v := s.Violations(); len(v) > 0 {
+		e.res.Violations = append(e.res.Violations,
+			fmt.Sprintf("%s [schedule %s]", v[0], e.path))
+		e.res.ViolationSchedules = append(e.res.ViolationSchedules, e.path.Clone())
+		return nil
+	}
+	var fp sim.Fingerprint
+	if e.cfg.Memo {
+		if e.res.StatesVisited >= e.maxStates {
+			e.res.Truncated = true
+			return nil
+		}
+		fp = s.StateKey(e.fpSeed)
+		if stored, ok := e.visited[fp]; ok {
+			if stored&^sleep == 0 {
+				// Everything reachable here was explored under a sleep set no
+				// larger than ours.
+				e.res.StatesPruned++
+				return nil
+			}
+			sleep &= stored
+		}
+	}
+
+	m := s.Machine()
+	if m.AllDone() {
+		e.res.Complete++
+		e.memoize(fp, 0)
+		return nil
+	}
+	poised := m.PoisedProcs()
+	if len(poised) == 0 {
+		e.res.Deadlocks = append(e.res.Deadlocks, e.path.String())
+		e.res.DeadlockSchedules = append(e.res.DeadlockSchedules, e.path.Clone())
+		e.memoize(fp, 0)
+		return nil
+	}
+	depth := len(e.path)
+	if depth >= e.cfg.MaxDepth {
+		// Not memoized: the subtree was cut, so a shallower revisit must not
+		// be pruned against it.
+		e.res.Truncated = true
+		e.res.DepthTruncated++
+		return nil
+	}
+
+	// The reduction turns itself off at states with a multi-cell waiter: a
+	// wake makes the waiter observe all watched cells at once, so two steps
+	// on distinct watched cells no longer commute.
+	porOK := e.cfg.POR && e.cfg.Session.Procs <= maskProcs && !s.HasMultiWait()
+	if !porOK {
+		sleep = 0
+	}
+	e.memoize(fp, sleep)
+
+	var foots [maskProcs]mutex.StepFootprint
+	var footOK uint64
+	if porOK {
+		for _, p := range poised {
+			if f, ok := s.PendingFootprint(p); ok {
+				foots[p] = f
+				footOK |= 1 << p
+			}
+		}
+	}
+
+	// Branch set, in ExhaustiveReference order: per poised process its step
+	// then its crash, then crash branches for parked processes. Sleeping
+	// skips step branches only; crash branches are dependent with everything
+	// (they reset process state) and are never reduced.
+	branches := make([]sim.Action, 0, 2*len(poised))
+	for _, p := range poised {
+		if porOK && sleep>>uint(p)&1 == 1 {
+			e.res.SleepPruned++
+		} else {
+			branches = append(branches, sim.Action{Proc: p})
+		}
+		if e.crashBranch(m, p) {
+			branches = append(branches, sim.Action{Proc: p, Crash: true})
+		}
+	}
+	if e.recoverable && e.cfg.CrashesPerProc > 0 {
+		for p := 0; p < e.cfg.Session.Procs; p++ {
+			if m.ProcDone(p) || !m.Parked(p) || m.Crashes(p) >= e.cfg.CrashesPerProc {
+				continue
+			}
+			branches = append(branches, sim.Action{Proc: p, Crash: true})
+		}
+	}
+
+	var taken uint64
+	for i, act := range branches {
+		if i > 0 {
+			if err := e.restore(depth); err != nil {
+				return err
+			}
+		}
+		var childSleep uint64
+		if porOK && !act.Crash {
+			childSleep = childSleepMask(act.Proc, sleep|taken, &foots, footOK,
+				e.cfg.Session.Procs)
+		}
+		if err := e.advance(act); err != nil {
+			return err
+		}
+		if err := e.explore(childSleep); err != nil {
+			return err
+		}
+		e.path = e.path[:depth]
+		if !act.Crash {
+			taken |= 1 << uint(act.Proc)
+		}
+	}
+	return nil
+}
+
+// memoize records fp as explored under the given sleep mask.
+func (e *explorer) memoize(fp sim.Fingerprint, sleep uint64) {
+	if !e.cfg.Memo {
+		return
+	}
+	e.visited[fp] = sleep
+	e.res.StatesVisited++
+}
+
+// crashBranch reports whether p gets a crash branch in addition to its step.
+func (e *explorer) crashBranch(m *sim.Machine, p int) bool {
+	return e.recoverable && e.cfg.CrashesPerProc > 0 && m.Crashes(p) < e.cfg.CrashesPerProc
+}
+
+// childSleepMask propagates the sleep set across p's step: a process q
+// stays asleep (or newly falls asleep, when its own step branch was already
+// taken at this node) iff its pending step commutes with p's.
+func childSleepMask(p int, avail uint64, foots *[maskProcs]mutex.StepFootprint, footOK uint64, procs int) uint64 {
+	avail &^= 1 << uint(p)
+	var mask uint64
+	for q := 0; q < procs && avail>>uint(q) != 0; q++ {
+		if avail>>uint(q)&1 == 1 && independentSteps(p, q, foots, footOK) {
+			mask |= 1 << uint(q)
+		}
+	}
+	return mask
+}
+
+// independentSteps reports whether the pending steps of p and q commute:
+// both footprints are known and they target different cells or are both
+// reads. Anything else — unknown footprints included — is treated as
+// dependent, which costs only extra exploration, never soundness.
+func independentSteps(p, q int, foots *[maskProcs]mutex.StepFootprint, footOK uint64) bool {
+	if footOK>>uint(p)&1 == 0 || footOK>>uint(q)&1 == 0 {
+		return false
+	}
+	fp, fq := foots[p], foots[q]
+	return fp.Cell != fq.Cell || (!fp.Write && !fq.Write)
+}
+
+// enumerateBranches lists the root node's enabled actions in the canonical
+// branch order; Exhaustive fans these out over engine workers.
+func enumerateBranches(cfg Config, s *mutex.Session) []sim.Action {
+	m := s.Machine()
+	poised := m.PoisedProcs()
+	recoverable := cfg.Session.Algorithm.Recoverable()
+	branches := make([]sim.Action, 0, 2*len(poised))
+	for _, p := range poised {
+		branches = append(branches, sim.Action{Proc: p})
+		if recoverable && cfg.CrashesPerProc > 0 && m.Crashes(p) < cfg.CrashesPerProc {
+			branches = append(branches, sim.Action{Proc: p, Crash: true})
+		}
+	}
+	if recoverable && cfg.CrashesPerProc > 0 {
+		for p := 0; p < cfg.Session.Procs; p++ {
+			if m.ProcDone(p) || !m.Parked(p) || m.Crashes(p) >= cfg.CrashesPerProc {
+				continue
+			}
+			branches = append(branches, sim.Action{Proc: p, Crash: true})
+		}
+	}
+	return branches
+}
+
+// rootSleepMasks computes the initial sleep mask each root branch's subtree
+// starts with, mirroring the in-node propagation: the i-th step branch
+// sleeps every earlier step branch's process whose pending step commutes
+// with its own. Crash branches always start awake.
+func rootSleepMasks(cfg Config, s *mutex.Session, branches []sim.Action) []uint64 {
+	masks := make([]uint64, len(branches))
+	if !cfg.POR || cfg.Session.Procs > maskProcs || s.HasMultiWait() {
+		return masks
+	}
+	var foots [maskProcs]mutex.StepFootprint
+	var footOK uint64
+	for p := 0; p < cfg.Session.Procs; p++ {
+		if f, ok := s.PendingFootprint(p); ok {
+			foots[p] = f
+			footOK |= 1 << uint(p)
+		}
+	}
+	var taken uint64
+	for i, act := range branches {
+		if act.Crash {
+			continue
+		}
+		masks[i] = childSleepMask(act.Proc, taken, &foots, footOK, cfg.Session.Procs)
+		taken |= 1 << uint(act.Proc)
+	}
+	return masks
+}

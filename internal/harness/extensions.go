@@ -14,7 +14,8 @@ import (
 
 // Extensions returns the experiments beyond the paper's direct claims:
 // reproductions of the §4 discussion points (the system-wide failure model
-// and the amortized-complexity escape hatch).
+// and the amortized-complexity escape hatch) and the checker-focused
+// state-space census (E13).
 func Extensions() []Experiment {
 	return []Experiment{
 		{
@@ -31,6 +32,7 @@ func Extensions() []Experiment {
 		},
 		fairnessExperiment(),
 		adaptivityExperiment(),
+		statespaceExperiment(),
 	}
 }
 

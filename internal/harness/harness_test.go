@@ -26,8 +26,8 @@ func TestTableRender(t *testing.T) {
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 12 {
-		t.Fatalf("%d experiments, want 12", len(exps))
+	if len(exps) != 13 {
+		t.Fatalf("%d experiments, want 13", len(exps))
 	}
 	seen := make(map[string]bool)
 	for _, e := range exps {
@@ -39,7 +39,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 			t.Errorf("%s has no Run", e.ID)
 		}
 	}
-	if _, ok := Find("E12"); !ok {
+	if _, ok := Find("E13"); !ok {
 		t.Error("E10 not found")
 	}
 	if _, ok := Find("E0"); ok {

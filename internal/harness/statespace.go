@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"fmt"
+
+	"rme/internal/algorithms/rspin"
+	"rme/internal/algorithms/tas"
+	"rme/internal/algorithms/ticket"
+	"rme/internal/algorithms/tournament"
+	"rme/internal/algorithms/watree"
+	"rme/internal/algorithms/yatree"
+	"rme/internal/check"
+	"rme/internal/mutex"
+	"rme/internal/sim"
+	"rme/internal/word"
+)
+
+// statespaceExperiment is E13: the exhaustive state-space census. The
+// stateful checker (fingerprint memoization + sleep-set reduction) walks
+// every reachable canonical state of each algorithm at small n and reports
+// how much state there is to check — and how much of the naive schedule tree
+// the reductions discard. Unlike E1–E12 this measures the verifier, not the
+// algorithms' RMR behaviour: the table is the capacity map for exhaustive
+// certification, and EXPERIMENTS.md tracks it so a state-space regression
+// (an algorithm change that blows up reachable states) is visible in review.
+func statespaceExperiment() Experiment {
+	return Experiment{
+		ID:    "E13",
+		Title: "Exhaustive state-space census (stateful checker)",
+		Claim: "Bounded-exhaustive verification of every repo algorithm is feasible at n=2 (with a crash branch per process for the recoverable ones) and for the tree algorithms at n=3: visited canonical states stay within millions, while the unreduced schedule tree is orders of magnitude larger (see the revisit and sleep-set columns).",
+		Run:   runE13,
+	}
+}
+
+// e13Case is one census row's configuration.
+type e13Case struct {
+	alg     mutex.Algorithm
+	n       int
+	width   int
+	crashes int
+	full    bool // only run with Options.Full
+}
+
+func runE13(opts Options) ([]Table, error) {
+	cases := []e13Case{
+		{alg: tas.New(), n: 2, width: 8},
+		{alg: ticket.New(), n: 2, width: 8},
+		{alg: tournament.New(), n: 2, width: 8},
+		{alg: rspin.New(), n: 2, width: 8, crashes: 1},
+		{alg: yatree.New(), n: 2, width: 8, crashes: 1},
+		{alg: watree.New(), n: 2, width: 8, crashes: 1},
+		{alg: yatree.New(), n: 3, width: 8, crashes: 1, full: true},
+		{alg: watree.New(), n: 3, width: 8, full: true},
+	}
+	t := Table{
+		Title:  "E13: reachable canonical states under memoization + sleep-set POR",
+		Header: []string{"algorithm", "n", "crashes", "states", "revisits pruned", "sleep skips", "terminal", "truncated", "machine steps"},
+		Note: "One exhaustive search per row (CC, w=8). 'states' counts distinct canonical " +
+			"states expanded; 'revisits pruned' counts convergent interleavings cut by the " +
+			"fingerprint memo; 'sleep skips' counts step branches the partial-order " +
+			"reduction proved redundant. 'terminal' is the number of distinct completed " +
+			"end states. A truncated row exceeded the state budget and is a lower bound. " +
+			"n=3 rows run only in the full sweep.",
+	}
+	for _, c := range cases {
+		if c.full && !opts.Full {
+			continue
+		}
+		cfg := check.Config{
+			Session: mutex.Config{
+				Procs: c.n, Width: word.Width(c.width), Model: sim.CC, Algorithm: c.alg,
+			},
+			CrashesPerProc: c.crashes,
+			MaxSchedules:   10_000_000,
+			MaxStates:      32_000_000,
+			Parallel:       opts.Parallel,
+			Memo:           true,
+			POR:            true,
+		}
+		res, err := check.Exhaustive(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("E13 %s n=%d: %w", c.alg.Name(), c.n, err)
+		}
+		if !res.Ok() {
+			return nil, fmt.Errorf("E13 %s n=%d: unexpected failure: %v", c.alg.Name(), c.n, res.Err())
+		}
+		t.AddRow(c.alg.Name(), c.n, c.crashes, res.StatesVisited, res.StatesPruned,
+			res.SleepPruned, res.Complete, res.Truncated, res.MachineSteps)
+	}
+	return []Table{t}, nil
+}

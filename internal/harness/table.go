@@ -1,5 +1,5 @@
 // Package harness defines the repository's experiments — E1–E8, one per
-// quantitative claim of the paper, plus the §4-discussion extensions E9–E12
+// quantitative claim of the paper, plus the extensions E9–E13
 // (see DESIGN.md's experiment index) — and renders their results as
 // plain-text tables. cmd/rmrbench regenerates every
 // table; EXPERIMENTS.md records the output next to the paper's claims.

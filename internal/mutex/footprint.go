@@ -1,0 +1,65 @@
+package mutex
+
+import (
+	"rme/internal/sim"
+)
+
+// StepFootprint is the cell-access footprint of one process's pending step:
+// which cell the step will touch and whether it can change it. The model
+// checker's partial-order reduction derives independence from footprints —
+// two enabled steps commute when they target different cells or are both
+// reads — so the simulator's knowledge of each operation's target is the
+// single source of truth for what a step can interfere with.
+type StepFootprint struct {
+	// Cell is the allocation index of the target cell.
+	Cell int
+	// Write reports whether the operation can modify the cell (any non-read:
+	// writes, RMW ops, and custom transitions).
+	Write bool
+}
+
+// PendingFootprint returns the footprint of p's pending step. ok is false
+// when p has no pending step the scheduler could take: it is done, parked on
+// a failed spin, or blocked in a multi-cell wait.
+func (s *Session) PendingFootprint(p int) (StepFootprint, bool) {
+	if !s.mach.Poised(p) {
+		return StepFootprint{}, false
+	}
+	op, ok := s.mach.Pending(p)
+	if !ok || op.Wait {
+		return StepFootprint{}, false
+	}
+	return StepFootprint{Cell: op.Cell.CellID(), Write: !op.Op.IsRead()}, true
+}
+
+// HasMultiWait reports whether any live process is blocked in a multi-cell
+// wait (SpinUntilMulti). A non-read step on one watched cell makes such a
+// waiter observe the values of ALL its watched cells at the wake point, so
+// steps on different cells do not commute in its presence; the checker's
+// reduction disables itself at states where this returns true.
+func (s *Session) HasMultiWait() bool {
+	for p := 0; p < s.cfg.Procs; p++ {
+		if s.mach.ProcDone(p) {
+			continue
+		}
+		if op, ok := s.mach.Pending(p); ok && op.Wait {
+			return true
+		}
+	}
+	return false
+}
+
+// CSOwner returns the process currently owning the critical section under
+// the monitor's CSR rule (a crashed holder keeps ownership until it re-enters
+// and exits), or -1.
+func (s *Session) CSOwner() int { return s.csOwner }
+
+// StateKey returns a seeded 128-bit fingerprint of the session's canonical
+// state: the machine's canonical state (cells, per-process phase/pending
+// vectors — see sim.Machine.CanonicalState) mixed with the safety monitor's
+// CS-ownership state. The monitor contribution matters because a crashed
+// in-CS holder and a crashed in-entry process can look identical to the
+// machine while their futures differ for the mutual-exclusion verdict.
+func (s *Session) StateKey(seed uint64) sim.Fingerprint {
+	return s.mach.Fingerprint(seed).Mix(uint64(int64(s.csOwner)))
+}

@@ -90,6 +90,8 @@ type Machine struct {
 	sealed bool
 	// wakeScratch is a reused buffer for watcher snapshots in resolveWakes.
 	wakeScratch []int
+	// fpScratch is a reused buffer for Fingerprint's canonical encoding.
+	fpScratch []byte
 	// obs, when non-nil, is streamed every recorded event (see SetObserver).
 	// The disabled path is a single nil check per event.
 	obs Observer

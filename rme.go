@@ -68,6 +68,8 @@ type (
 	Schedule = sim.Schedule
 	// Event is one trace entry.
 	Event = sim.Event
+	// Fingerprint is a 128-bit canonical-state hash for memoized search.
+	Fingerprint = sim.Fingerprint
 
 	// Algorithm is a mutual exclusion algorithm family.
 	Algorithm = mutex.Algorithm
@@ -106,7 +108,7 @@ type (
 	EngineMetrics = engine.Metrics
 
 	// Experiment is one of the paper-claim reproductions E1–E8 or the
-	// §4-discussion extensions E9–E12.
+	// extensions E9–E13.
 	Experiment = harness.Experiment
 	// ExperimentOptions tunes experiment scale.
 	ExperimentOptions = harness.Options
@@ -136,8 +138,17 @@ func NewSession(cfg Config) (*Session, error) { return mutex.NewSession(cfg) }
 // NewAdversary prepares the lower-bound adversary over a fresh session.
 func NewAdversary(cfg AdversaryConfig) (*Adversary, error) { return adversary.New(cfg) }
 
-// Exhaustive runs the bounded-exhaustive interleaving checker.
+// Exhaustive runs the bounded-exhaustive interleaving checker: a stateful
+// search with visited-state memoization (CheckConfig.Memo), sleep-set
+// partial-order reduction (CheckConfig.POR), and checkpointed backtracking.
 func Exhaustive(cfg CheckConfig) (*CheckResult, error) { return check.Exhaustive(cfg) }
+
+// ExhaustiveReference runs the unreduced seed DFS. It enumerates the same
+// schedules as Exhaustive with Memo and POR off, at a higher machine-step
+// cost; it exists as the differential-testing oracle for the stateful search.
+func ExhaustiveReference(cfg CheckConfig) (*CheckResult, error) {
+	return check.ExhaustiveReference(cfg)
+}
 
 // Stress runs randomized schedules with optional crash injection.
 func Stress(cfg CheckConfig, seeds int, crashProb float64) (*CheckResult, error) {
@@ -154,7 +165,7 @@ func Run(specs []RunSpec, opts RunOptions) []RunResult { return engine.Run(specs
 func NewWorker() *Worker { return engine.NewWorker() }
 
 // Experiments returns the paper-claim reproductions E1–E8 followed by the
-// extension experiments E9–E12.
+// extension experiments E9–E13.
 func Experiments() []Experiment { return harness.All() }
 
 // FindExperiment returns the experiment with the given id (e.g. "E2").

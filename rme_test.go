@@ -74,8 +74,8 @@ func TestSessionSmokeAllAlgorithms(t *testing.T) {
 
 func TestExperimentsComplete(t *testing.T) {
 	exps := rme.Experiments()
-	if len(exps) != 12 {
-		t.Fatalf("%d experiments, want 12 (E1-E8 + extensions E9-E12)", len(exps))
+	if len(exps) != 13 {
+		t.Fatalf("%d experiments, want 13 (E1-E8 + extensions E9-E13)", len(exps))
 	}
 	for i, e := range exps {
 		want := fmt.Sprintf("E%d", i+1)
