@@ -11,7 +11,15 @@
 //
 //	rmeadversary [-alg watree] [-n 64] [-w 8] [-model cc] [-k 0]
 //	             [-trace FILE] [-traceformat jsonl|chrome] [-top N]
+//	             [-cpuprofile FILE] [-memprofile FILE]
+//	             [-heartbeat DUR] [-metrics FILE] [-debugaddr ADDR]
 //	rmeadversary [-alg watree] [-w 8] -sweep 16,64,256 [-parallel N]
+//
+// -heartbeat prints live round progression (rounds completed, active set
+// size, erased-process counts, ETA against the round cap) to stderr; -metrics
+// appends JSONL metric snapshots; -debugaddr serves /metrics, /debug/vars
+// and /debug/pprof while the construction runs. All three are strictly
+// observational and leave stdout untouched.
 //
 // The construction itself runs trace-free (erasure audits replay the whole
 // execution constantly); -trace replays the final adversarial schedule on a
@@ -43,6 +51,7 @@ import (
 	"rme/internal/faults"
 	"rme/internal/mutex"
 	"rme/internal/sim"
+	"rme/internal/telemetry"
 	"rme/internal/trace"
 	"rme/internal/word"
 )
@@ -84,12 +93,34 @@ func run(args []string) error {
 	tracePath := fs.String("trace", "", "replay the final adversarial schedule traced and export it to this file")
 	traceFormat := fs.String("traceformat", "jsonl", "trace encoding: jsonl or chrome (Perfetto)")
 	top := fs.Int("top", 0, "print the N hottest cells/procs of the traced replay to stderr (0 = off)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	tele := cliutil.TelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if _, err := trace.ParseFormat(*traceFormat); err != nil {
 		return err
 	}
+	stopCPU, err := cliutil.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
+	stopTele, err := tele.Start("adversary", telemetry.View{
+		Progress: "adversary_rounds",
+		Target:   "adversary_max_rounds",
+		Show:     []string{"adversary_active", "adversary_removed"},
+		Ratios: []telemetry.Ratio{{
+			Label: "hiding",
+			Num:   "adversary_hiding_wins",
+			Den:   []string{"adversary_hiding_attempts"},
+		}},
+	})
+	if err != nil {
+		return err
+	}
+	defer stopTele()
 
 	alg, ok := algorithms()[strings.ToLower(*algName)]
 	if !ok {
@@ -104,14 +135,19 @@ func run(args []string) error {
 		fmt.Fprintln(os.Stderr, "note: the adversary construction is fully deterministic; -seed has no effect")
 	}
 	if *sweep != "" {
-		return runSweep(alg, *sweep, *w, model, *k, *parallel)
+		err := runSweep(alg, *sweep, *w, model, *k, *parallel, tele.Registry())
+		if herr := cliutil.WriteHeapProfile(*memProfile); err == nil {
+			err = herr
+		}
+		return err
 	}
 
 	adv, err := adversary.New(adversary.Config{
 		Session: mutex.Config{
 			Procs: *n, Width: word.Width(*w), Model: model, Algorithm: alg,
 		},
-		K: *k,
+		K:         *k,
+		Telemetry: tele.Registry(),
 	})
 	if err != nil {
 		return err
@@ -137,6 +173,9 @@ func run(args []string) error {
 		if err := cliutil.ExportTrace(*tracePath, *traceFormat, runs); err != nil {
 			return err
 		}
+	}
+	if err := cliutil.WriteHeapProfile(*memProfile); err != nil {
+		return err
 	}
 
 	fmt.Printf("adversary vs %s: n=%d w=%d model=%s k=%d\n\n",
@@ -168,8 +207,10 @@ func run(args []string) error {
 }
 
 // runSweep runs one adversary construction per listed n in parallel and
-// prints summary rows in list order.
-func runSweep(alg mutex.Algorithm, sweep string, w int, model sim.Model, k, parallel int) error {
+// prints summary rows in list order. The shared registry accumulates round
+// statistics across all constructions (atomics make that safe); the printed
+// table is unaffected.
+func runSweep(alg mutex.Algorithm, sweep string, w int, model sim.Model, k, parallel int, reg *telemetry.Registry) error {
 	var ns []int
 	for _, tok := range strings.Split(sweep, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(tok))
@@ -184,7 +225,8 @@ func runSweep(alg mutex.Algorithm, sweep string, w int, model sim.Model, k, para
 			Session: mutex.Config{
 				Procs: ns[i], Width: word.Width(w), Model: model, Algorithm: alg,
 			},
-			K: k,
+			K:         k,
+			Telemetry: reg,
 		})
 		if err != nil {
 			return fmt.Errorf("n=%d: %w", ns[i], err)

@@ -8,6 +8,14 @@
 //	rmecheck [-alg watree] [-n 2] [-w 8] [-model cc] [-crashes 1] [-max 50000] [-stress 200] [-seed S] [-parallel N]
 //	         [-memo] [-por] [-snapshot K] [-maxstates N] [-json]
 //	         [-trace FILE] [-traceformat jsonl|chrome] [-top N]
+//	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-heartbeat DUR] [-metrics FILE] [-debugaddr ADDR]
+//
+// -heartbeat prints live search progress (states or schedules per second,
+// memo-hit and replay ratios, ETA against the state budget) to stderr;
+// -metrics appends JSONL metric snapshots; -debugaddr serves /metrics,
+// /debug/vars and /debug/pprof while the search runs. All three are strictly
+// observational: stdout stays byte-identical with them on or off.
 //
 // The exhaustive search runs stateful by default: visited-state memoization
 // (-memo) and sleep-set partial-order reduction (-por) prune redundant
@@ -44,6 +52,7 @@ import (
 	"rme/internal/cliutil"
 	"rme/internal/mutex"
 	"rme/internal/sim"
+	"rme/internal/telemetry"
 	"rme/internal/trace"
 	"rme/internal/word"
 )
@@ -117,12 +126,25 @@ func run(args []string) error {
 	tracePath := fs.String("trace", "", "export a step-level trace of the crash-free reference run to this file")
 	traceFormat := fs.String("traceformat", "jsonl", "trace encoding: jsonl or chrome (Perfetto)")
 	top := fs.Int("top", 0, "print the N hottest cells/procs of the reference run to stderr (0 = off)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	tele := cliutil.TelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if _, err := trace.ParseFormat(*traceFormat); err != nil {
 		return err
 	}
+	stopCPU, err := cliutil.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
+	stopTele, err := tele.Start("check", telemetryView(*memo))
+	if err != nil {
+		return err
+	}
+	defer stopTele()
 
 	algs := map[string]mutex.Algorithm{
 		"tas": tas.New(), "ticket": ticket.New(), "mcs": mcs.New(), "clh": clh.New(),
@@ -149,6 +171,7 @@ func run(args []string) error {
 		POR:              *por,
 		SnapshotInterval: *snapshot,
 		MaxStates:        *maxStates,
+		Telemetry:        tele.Registry(),
 	}
 
 	if *tracePath != "" || *top > 0 {
@@ -158,7 +181,13 @@ func run(args []string) error {
 	}
 
 	if *jsonOut {
-		return runJSON(cfg, alg.Name(), model, *crashes, *stress)
+		err := runJSON(cfg, alg.Name(), model, *crashes, *stress)
+		// The heap profile is written even when the check failed: profiling a
+		// run that found a violation is still profiling.
+		if herr := cliutil.WriteHeapProfile(*memProfile); err == nil {
+			err = herr
+		}
+		return err
 	}
 
 	fmt.Printf("exhaustive: %s n=%d w=%d model=%s crashes<=%d memo=%v por=%v\n",
@@ -193,7 +222,34 @@ func run(args []string) error {
 		}
 	}
 	fmt.Println("OK")
-	return nil
+	return cliutil.WriteHeapProfile(*memProfile)
+}
+
+// telemetryView is the checker's heartbeat layout: with memoization the
+// search progresses in visited states against the state budget; without it,
+// in complete schedules against the schedule cap. Either way the ratios
+// expose the prune and replay economics of the stateful explorer.
+func telemetryView(memo bool) telemetry.View {
+	v := telemetry.View{
+		Progress: "check_schedules_complete",
+		Target:   "check_max_schedules",
+		Show:     []string{"check_frontier_depth"},
+		Ratios: []telemetry.Ratio{
+			{Label: "replay", Num: "check_replay_steps", Den: []string{"check_machine_steps"}},
+		},
+		UtilBusy:    "engine_busy_ns",
+		UtilWorkers: "engine_workers",
+	}
+	if memo {
+		v.Progress = "check_states_visited"
+		v.Target = "check_max_states"
+		v.Ratios = append([]telemetry.Ratio{{
+			Label: "memo_hit",
+			Num:   "check_states_pruned",
+			Den:   []string{"check_states_visited", "check_states_pruned"},
+		}}, v.Ratios...)
+	}
+	return v
 }
 
 // runJSON runs the same phases as the text path but emits one JSON document.

@@ -12,6 +12,13 @@
 //	         [-budget 0] [-bound 0] [-parallel N] [-failfast] [-noshrink] [-json]
 //	         [-trace FILE] [-traceformat jsonl|chrome] [-top N]
 //	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-heartbeat DUR] [-metrics FILE] [-debugaddr ADDR]
+//
+// -heartbeat prints live progress lines (runs/sec, failure count, worker
+// utilization, ETA against the plan grid) to stderr; -metrics appends JSONL
+// metric snapshots; -debugaddr serves /metrics, /debug/vars and /debug/pprof
+// while the campaign runs. All three are strictly observational: the stdout
+// report stays byte-identical with them on or off.
 //
 // -trace replays each failure's shrunken reproducer (or, on a clean
 // campaign, the crash-free probe run) on a machine with event retention and
@@ -44,6 +51,7 @@ import (
 	"rme/internal/faults"
 	"rme/internal/mutex"
 	"rme/internal/sim"
+	"rme/internal/telemetry"
 	"rme/internal/trace"
 	"rme/internal/word"
 )
@@ -52,6 +60,18 @@ func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "rmefault:", err)
 		os.Exit(1)
+	}
+}
+
+// telemetryView is the campaign's heartbeat layout: progress against the
+// generated plan grid, live failure count, worker utilization.
+func telemetryView() telemetry.View {
+	return telemetry.View{
+		Progress:    "faults_runs",
+		Target:      "faults_plans",
+		Show:        []string{"faults_failures"},
+		UtilBusy:    "engine_busy_ns",
+		UtilWorkers: "engine_workers",
 	}
 }
 
@@ -76,6 +96,7 @@ func run(args []string) error {
 	top := fs.Int("top", 0, "print the N hottest cells/procs of the traced replays to stderr (0 = off)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	tele := cliutil.TelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,6 +108,11 @@ func run(args []string) error {
 		return err
 	}
 	defer stopCPU()
+	stopTele, err := tele.Start("fault", telemetryView())
+	if err != nil {
+		return err
+	}
+	defer stopTele()
 
 	algs := map[string]mutex.Algorithm{
 		"tas": tas.New(), "ticket": ticket.New(), "mcs": mcs.New(), "clh": clh.New(),
@@ -119,13 +145,14 @@ func run(args []string) error {
 		Session: mutex.Config{
 			Procs: *n, Width: word.Width(*w), Model: model, Algorithm: alg, Passes: *passes,
 		},
-		Sources:  sources,
-		Oracles:  oracles,
-		Seed:     *seed,
-		Parallel: *parallel,
-		Bound:    *bound,
-		NoShrink: *noShrink,
-		FailFast: *failFast,
+		Sources:   sources,
+		Oracles:   oracles,
+		Seed:      *seed,
+		Parallel:  *parallel,
+		Bound:     *bound,
+		NoShrink:  *noShrink,
+		FailFast:  *failFast,
+		Telemetry: tele.Registry(),
 	}
 	start := time.Now()
 	rep, err := c.Run()

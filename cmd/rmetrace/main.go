@@ -1,16 +1,20 @@
 // Command rmetrace works with step-level trace files exported by the other
-// tools' -trace flags (rmrbench, rmefault, rmecheck, rmeadversary).
+// tools' -trace flags (rmrbench, rmefault, rmecheck, rmeadversary) and with
+// the telemetry JSONL streams their -metrics flags write.
 //
 //	rmetrace summarize [-model cc|dsm] [-top N] FILE
 //	rmetrace convert [-format chrome|jsonl] [-o OUT] FILE
+//	rmetrace metrics FILE
 //
 // summarize aggregates a JSONL trace into per-cell and per-process RMR
 // attribution tables and prints the hottest cells and costliest processes —
 // the answer to "where did the RMRs go" that aggregate Max/Total counters
 // cannot give. convert re-encodes a JSONL trace, most usefully into Chrome
 // trace_event JSON for the Perfetto timeline (https://ui.perfetto.dev).
-// Both read from stdin when FILE is "-". Output is a pure function of the
-// input file: summarizing the same trace twice prints identical bytes.
+// metrics summarizes a -metrics heartbeat stream: one row per series with
+// first/min/max/last values and the cumulative rate over the stream's span.
+// All read from stdin when FILE is "-". Output is a pure function of the
+// input file: summarizing the same file twice prints identical bytes.
 package main
 
 import (
@@ -18,9 +22,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"rme/internal/sim"
+	"rme/internal/telemetry"
 	"rme/internal/trace"
 )
 
@@ -33,15 +39,17 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: rmetrace summarize|convert [flags] FILE")
+		return fmt.Errorf("usage: rmetrace summarize|convert|metrics [flags] FILE")
 	}
 	switch args[0] {
 	case "summarize":
 		return runSummarize(args[1:])
 	case "convert":
 		return runConvert(args[1:])
+	case "metrics":
+		return runMetrics(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want summarize or convert)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want summarize, convert or metrics)", args[0])
 	}
 }
 
@@ -93,6 +101,85 @@ func runSummarize(args []string) error {
 			r.Index, r.Label, r.Model, r.Procs, a.Events, a.Steps, a.RMRs(r.Model))
 	}
 	trace.WriteSummary(os.Stdout, trace.Merge(runs), model, *top)
+	return nil
+}
+
+// runMetrics summarizes a telemetry JSONL stream: per-series first, min,
+// max and last values plus the cumulative rate between the first and last
+// snapshots. Series are sorted by name, so output is diff-able.
+func runMetrics(args []string) error {
+	fs := flag.NewFlagSet("rmetrace metrics", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: rmetrace metrics FILE")
+	}
+	path := fs.Arg(0)
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	recs, err := telemetry.ReadRecords(r)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("%s: no records in metrics stream", path)
+	}
+
+	first, last := recs[0], recs[len(recs)-1]
+	span := (last.TMS - first.TMS) / 1000 // seconds
+	label := last.Label
+	if label == "" {
+		label = "(unlabeled)"
+	}
+	finalNote := ""
+	if last.Final {
+		finalNote = ", final record present"
+	}
+	fmt.Printf("%s: %d snapshots over %.2fs%s\n\n", label, len(recs), span, finalNote)
+
+	type stat struct {
+		first, min, max, last int64
+		seen                  bool
+	}
+	stats := map[string]*stat{}
+	var names []string
+	for _, rec := range recs {
+		for name, v := range rec.Metrics {
+			s, ok := stats[name]
+			if !ok {
+				s = &stat{first: v, min: v, max: v}
+				stats[name] = s
+				names = append(names, name)
+			}
+			if v < s.min {
+				s.min = v
+			}
+			if v > s.max {
+				s.max = v
+			}
+			s.last = v
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("%-34s %12s %12s %12s %12s %12s\n", "series", "first", "min", "max", "last", "rate/s")
+	for _, name := range names {
+		s := stats[name]
+		rate := "-"
+		if span > 0 && s.last > s.first {
+			rate = fmt.Sprintf("%.1f", float64(s.last-s.first)/span)
+		}
+		fmt.Printf("%-34s %12d %12d %12d %12d %12s\n", name, s.first, s.min, s.max, s.last, rate)
+	}
 	return nil
 }
 

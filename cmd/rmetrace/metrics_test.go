@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestMetricsGolden locks in the `rmetrace metrics` table format against a
+// checked-in heartbeat stream. Regenerate with `go test -run Golden -update`.
+func TestMetricsGolden(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"metrics", filepath.Join("testdata", "metrics.jsonl")})
+	})
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.WriteFile(golden, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Errorf("metrics output drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", out, want)
+	}
+}
+
+func TestMetricsBadInput(t *testing.T) {
+	if err := run([]string{"metrics"}); err == nil {
+		t.Error("missing FILE should fail")
+	}
+	if err := run([]string{"metrics", "/nonexistent/metrics.jsonl"}); err == nil {
+		t.Error("missing file should fail")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"metrics", empty}); err == nil {
+		t.Error("empty stream should fail")
+	}
+}

@@ -20,6 +20,12 @@
 //	rmrbench [-full] [-only E2,E5] [-seed S] [-parallel N] [-json BENCH_results.json]
 //	         [-trace FILE] [-traceformat jsonl|chrome] [-top N]
 //	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-heartbeat DUR] [-metrics FILE] [-debugaddr ADDR]
+//
+// -heartbeat prints live engine statistics (runs/sec, worker utilization)
+// to stderr while the grids execute; -metrics appends JSONL metric
+// snapshots; -debugaddr serves /metrics, /debug/vars and /debug/pprof. All
+// three are strictly observational: the tables stay byte-identical.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"rme/internal/engine"
 	"rme/internal/harness"
 	"rme/internal/sim"
+	"rme/internal/telemetry"
 	"rme/internal/trace"
 )
 
@@ -74,6 +81,7 @@ func run(args []string) error {
 	top := fs.Int("top", 0, "print the N hottest cells/procs from the captured trace (0 = off)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	tele := cliutil.TelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,6 +93,15 @@ func run(args []string) error {
 		return err
 	}
 	defer stopCPU()
+	stopTele, err := tele.Start("bench", telemetry.View{
+		Progress:    "engine_runs",
+		UtilBusy:    "engine_busy_ns",
+		UtilWorkers: "engine_workers",
+	})
+	if err != nil {
+		return err
+	}
+	defer stopTele()
 	var capture *trace.Capture
 	if *tracePath != "" || *top > 0 {
 		capture = &trace.Capture{}
@@ -106,7 +123,7 @@ func run(args []string) error {
 		fmt.Printf("=== %s: %s\n", exp.ID, exp.Title)
 		fmt.Printf("    claim: %s\n\n", exp.Claim)
 		metrics := &engine.Metrics{}
-		opts := harness.Options{Full: *full, Parallel: *parallel, Metrics: metrics, Seed: *seed, Trace: capture}
+		opts := harness.Options{Full: *full, Parallel: *parallel, Metrics: metrics, Seed: *seed, Trace: capture, Telemetry: tele.Registry()}
 		start := time.Now()
 		tables, err := exp.Run(opts)
 		if err != nil {

@@ -49,6 +49,7 @@ import (
 	"rme/internal/memory"
 	"rme/internal/mutex"
 	"rme/internal/sim"
+	"rme/internal/telemetry"
 	"rme/internal/word"
 )
 
@@ -102,6 +103,11 @@ type Config struct {
 	// MaxRemovalsPerCompletion caps the discovered-set size per completing
 	// process (the proof's o(w); 0 = 4*w + 8).
 	MaxRemovalsPerCompletion int
+
+	// Telemetry, when non-nil, receives round progression and erasure
+	// statistics (adversary_* series), updated once per completed round.
+	// Write-only: the construction never reads it back.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -232,6 +238,52 @@ type Adversary struct {
 	status     []Status
 	report     Report
 	lastViable viable
+	tm         advTelemetry
+}
+
+// advTelemetry holds the construction's live metric handles; all nil-safe
+// no-ops without Config.Telemetry. Per-round deltas come from the Round
+// report, cumulative erasure stats are re-published from the report totals,
+// so the final snapshot matches the Report exactly.
+type advTelemetry struct {
+	rounds, stepped, finished  *telemetry.Counter
+	removed, blocked, hidden   *telemetry.Counter
+	round, active              *telemetry.Gauge
+	replays, rollbacks         *telemetry.Gauge
+	hidingAttempts, hidingWins *telemetry.Gauge
+}
+
+func newAdvTelemetry(reg *telemetry.Registry) advTelemetry {
+	return advTelemetry{
+		rounds:         reg.Counter("adversary_rounds"),
+		stepped:        reg.Counter("adversary_stepped"),
+		finished:       reg.Counter("adversary_finished"),
+		removed:        reg.Counter("adversary_removed"),
+		blocked:        reg.Counter("adversary_blocked"),
+		hidden:         reg.Counter("adversary_hidden_kept"),
+		round:          reg.Gauge("adversary_round"),
+		active:         reg.Gauge("adversary_active"),
+		replays:        reg.Gauge("adversary_replays"),
+		rollbacks:      reg.Gauge("adversary_removal_rollbacks"),
+		hidingAttempts: reg.Gauge("adversary_hiding_attempts"),
+		hidingWins:     reg.Gauge("adversary_hiding_wins"),
+	}
+}
+
+// observeRound publishes one completed round.
+func (a *Adversary) observeRound(rep *Round) {
+	a.tm.rounds.Inc()
+	a.tm.stepped.Add(int64(rep.Stepped))
+	a.tm.finished.Add(int64(rep.Finished))
+	a.tm.removed.Add(int64(rep.Removed))
+	a.tm.blocked.Add(int64(rep.Blocked))
+	a.tm.hidden.Add(int64(rep.HiddenKept))
+	a.tm.round.Set(int64(rep.Index))
+	a.tm.active.Set(int64(rep.ActiveAfter))
+	a.tm.replays.Set(int64(a.report.Replays))
+	a.tm.rollbacks.Set(int64(a.report.RemovalRollbacks))
+	a.tm.hidingAttempts.Set(int64(a.report.HidingAttempts))
+	a.tm.hidingWins.Set(int64(a.report.HidingWins))
 }
 
 // New prepares an adversary over a fresh session.
@@ -243,12 +295,16 @@ func New(cfg Config) (*Adversary, error) {
 		w.Close()
 		return nil, err
 	}
+	w.Instrument(cfg.Telemetry)
 	a := &Adversary{
 		cfg:     cfg,
 		worker:  w,
 		session: s,
 		status:  make([]Status, cfg.Session.Procs),
+		tm:      newAdvTelemetry(cfg.Telemetry),
 	}
+	cfg.Telemetry.Gauge("adversary_max_rounds").Set(int64(cfg.MaxRounds))
+	cfg.Telemetry.Gauge("adversary_procs").Set(int64(cfg.Session.Procs))
 	for i := range a.status {
 		a.status[i] = Active
 	}
@@ -391,6 +447,7 @@ func (a *Adversary) round(index int) (bool, error) {
 	a.auditRound()
 	rep.ActiveAfter = len(a.actives())
 	a.report.Rounds = append(a.report.Rounds, rep)
+	a.observeRound(&rep)
 	return rep.Stepped > 0, nil
 }
 

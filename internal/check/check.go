@@ -23,6 +23,7 @@ import (
 	"rme/internal/engine"
 	"rme/internal/mutex"
 	"rme/internal/sim"
+	"rme/internal/telemetry"
 )
 
 // Config parameterizes a check run.
@@ -65,6 +66,12 @@ type Config struct {
 	// MaxStates caps the visited-state set under Memo (default 4,000,000,
 	// split over root branches like MaxSchedules). 0 means the default.
 	MaxStates int
+
+	// Telemetry, when non-nil, receives live search statistics (check_*
+	// counters mirroring the Result fields, frontier-depth gauge, restore
+	// replay-length histogram) and budget gauges. Strictly write-only: the
+	// search never reads it back, so results are identical with it on or off.
+	Telemetry *telemetry.Registry
 }
 
 // Default caps for the stateful explorer.
@@ -211,11 +218,25 @@ func Exhaustive(cfg Config) (*Result, error) {
 	subs := make([]*Result, len(branches))
 	scheduleSlice := ceilDiv(cfg.MaxSchedules, len(branches))
 	stateSlice := ceilDiv(cfg.MaxStates, len(branches))
+
+	// Budget gauges let a heartbeat render progress against the caps; the
+	// branches_done counter tracks root-branch fan-out completion. All
+	// nil-safe no-ops without a registry.
+	cfg.Telemetry.Gauge("check_branches").Set(int64(len(branches)))
+	cfg.Telemetry.Gauge("check_max_schedules").Set(int64(cfg.MaxSchedules))
+	cfg.Telemetry.Gauge("check_branch_schedule_budget").Set(int64(scheduleSlice))
+	if cfg.Memo {
+		cfg.Telemetry.Gauge("check_max_states").Set(int64(cfg.MaxStates))
+		cfg.Telemetry.Gauge("check_branch_state_budget").Set(int64(stateSlice))
+	}
+	branchesDone := cfg.Telemetry.Counter("check_branches_done")
+
 	err = engine.ForEach(len(branches), cfg.Parallel, func(i int) error {
 		e := newExplorer(cfg, scheduleSlice, stateSlice)
 		defer e.close()
 		sub, err := e.run(branches[i], sleeps[i])
 		subs[i] = sub
+		branchesDone.Inc()
 		return err
 	})
 	if err != nil {
@@ -259,8 +280,9 @@ func Stress(cfg Config, seeds int, crashProb float64) (*Result, error) {
 			},
 		}
 	}
+	cfg.Telemetry.Gauge("check_seeds").Set(int64(seeds))
 	res := &Result{}
-	for seed, r := range engine.Run(specs, engine.Options{Parallel: cfg.Parallel}) {
+	for seed, r := range engine.Run(specs, engine.Options{Parallel: cfg.Parallel, Telemetry: cfg.Telemetry}) {
 		switch {
 		case r.Err == nil:
 			res.Complete++

@@ -5,6 +5,7 @@ import (
 
 	"rme/internal/mutex"
 	"rme/internal/sim"
+	"rme/internal/telemetry"
 )
 
 // fpSeedSalt decorrelates the checker's fingerprint seed from the zero seed
@@ -46,6 +47,40 @@ type explorer struct {
 	// entry's prefix path[:depth] matches the current path (restore drops
 	// entries from abandoned subtrees before they could go stale).
 	cps []checkpoint
+
+	// tm mirrors res increments into live telemetry series; every handle is
+	// a nil-safe no-op when Config.Telemetry is nil.
+	tm checkTelemetry
+}
+
+// checkTelemetry holds the explorer's live metric handles. The counters
+// track their Result counterparts exactly (same increment sites), so the
+// final cumulative snapshot agrees with the merged Result field for field.
+type checkTelemetry struct {
+	visited, pruned, slept    *telemetry.Counter
+	complete, depthTrunc      *telemetry.Counter
+	machineSteps, replaySteps *telemetry.Counter
+	depth                     *telemetry.Gauge
+	restoreLen                *telemetry.Histogram
+}
+
+// restoreLenBounds buckets restore replay lengths: with SnapshotInterval K a
+// fresh checkpoint bounds replays near K, so the tail buckets expose how
+// often the explorer fell back to full-prefix replay.
+var restoreLenBounds = []int64{1, 4, 16, 64, 256, 1024, 4096}
+
+func newCheckTelemetry(reg *telemetry.Registry) checkTelemetry {
+	return checkTelemetry{
+		visited:      reg.Counter("check_states_visited"),
+		pruned:       reg.Counter("check_states_pruned"),
+		slept:        reg.Counter("check_sleep_pruned"),
+		complete:     reg.Counter("check_schedules_complete"),
+		depthTrunc:   reg.Counter("check_depth_truncated"),
+		machineSteps: reg.Counter("check_machine_steps"),
+		replaySteps:  reg.Counter("check_replay_steps"),
+		depth:        reg.Gauge("check_frontier_depth"),
+		restoreLen:   reg.Histogram("check_restore_replay_len", restoreLenBounds),
+	}
 }
 
 type checkpoint struct {
@@ -61,6 +96,7 @@ func newExplorer(cfg Config, maxComplete, maxStates int) *explorer {
 		maxStates:   maxStates,
 		recoverable: cfg.Session.Algorithm.Recoverable(),
 		fpSeed:      fpSeedSalt ^ uint64(cfg.Seed),
+		tm:          newCheckTelemetry(cfg.Telemetry),
 	}
 	if cfg.Memo {
 		e.visited = make(map[sim.Fingerprint]uint64)
@@ -120,6 +156,7 @@ func (e *explorer) advance(act sim.Action) error {
 		return fmt.Errorf("check: applying %v after %v: %w", act, e.path, err)
 	}
 	e.res.MachineSteps++
+	e.tm.machineSteps.Inc()
 	e.path = append(e.path, act)
 	return nil
 }
@@ -139,6 +176,8 @@ func (e *explorer) replay(s *mutex.Session, from, to int) error {
 		e.res.MachineSteps++
 		e.res.ReplaySteps++
 	}
+	e.tm.machineSteps.Add(int64(to - from))
+	e.tm.replaySteps.Add(int64(to - from))
 	return nil
 }
 
@@ -150,6 +189,10 @@ func (e *explorer) replay(s *mutex.Session, from, to int) error {
 // checkpoint is rebuilt at the last SnapshotInterval boundary below the
 // target so the next backtrack to this neighborhood is cheap again.
 func (e *explorer) restore(target int) error {
+	if e.tm.restoreLen != nil {
+		before := e.res.ReplaySteps
+		defer func() { e.tm.restoreLen.Observe(e.res.ReplaySteps - before) }()
+	}
 	for n := len(e.cps); n > 0 && e.cps[n-1].depth > target; n = len(e.cps) {
 		e.free = append(e.free, e.cps[n-1].sess)
 		e.cps = e.cps[:n-1]
@@ -212,6 +255,7 @@ func (e *explorer) explore(sleep uint64) error {
 				// Everything reachable here was explored under a sleep set no
 				// larger than ours.
 				e.res.StatesPruned++
+				e.tm.pruned.Inc()
 				return nil
 			}
 			sleep &= stored
@@ -221,6 +265,7 @@ func (e *explorer) explore(sleep uint64) error {
 	m := s.Machine()
 	if m.AllDone() {
 		e.res.Complete++
+		e.tm.complete.Inc()
 		e.memoize(fp, 0)
 		return nil
 	}
@@ -232,11 +277,13 @@ func (e *explorer) explore(sleep uint64) error {
 		return nil
 	}
 	depth := len(e.path)
+	e.tm.depth.Max(int64(depth))
 	if depth >= e.cfg.MaxDepth {
 		// Not memoized: the subtree was cut, so a shallower revisit must not
 		// be pruned against it.
 		e.res.Truncated = true
 		e.res.DepthTruncated++
+		e.tm.depthTrunc.Inc()
 		return nil
 	}
 
@@ -268,6 +315,7 @@ func (e *explorer) explore(sleep uint64) error {
 	for _, p := range poised {
 		if porOK && sleep>>uint(p)&1 == 1 {
 			e.res.SleepPruned++
+			e.tm.slept.Inc()
 		} else {
 			branches = append(branches, sim.Action{Proc: p})
 		}
@@ -317,6 +365,7 @@ func (e *explorer) memoize(fp sim.Fingerprint, sleep uint64) {
 	}
 	e.visited[fp] = sleep
 	e.res.StatesVisited++
+	e.tm.visited.Inc()
 }
 
 // crashBranch reports whether p gets a crash branch in addition to its step.

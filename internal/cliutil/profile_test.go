@@ -1,0 +1,109 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rme/internal/sim"
+	"rme/internal/trace"
+)
+
+func TestStartCPUProfileDisabled(t *testing.T) {
+	stop, err := StartCPUProfile("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop == nil {
+		t.Fatal("stop must never be nil")
+	}
+	stop() // must be safe to call
+}
+
+func TestStartCPUProfileWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := StartCPUProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record; the file is
+	// valid (header + samples) even if no sample lands.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("CPU profile is empty")
+	}
+}
+
+func TestStartCPUProfileBadPath(t *testing.T) {
+	stop, err := StartCPUProfile(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof"))
+	if err == nil {
+		t.Fatal("want error for unwritable path")
+	}
+	if stop == nil {
+		t.Fatal("stop must never be nil, even on error")
+	}
+	stop()
+}
+
+func TestWriteHeapProfile(t *testing.T) {
+	if err := WriteHeapProfile(""); err != nil {
+		t.Fatalf("empty path must be a no-op, got %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "mem.pprof")
+	if err := WriteHeapProfile(path); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("heap profile is empty")
+	}
+	if err := WriteHeapProfile(filepath.Join(t.TempDir(), "no", "such", "dir", "mem.pprof")); err == nil {
+		t.Fatal("want error for unwritable path")
+	}
+}
+
+func TestExportTrace(t *testing.T) {
+	runs := []trace.Run{{Label: "unit", Procs: 1, Model: sim.CC}}
+	if err := ExportTrace("", "jsonl", runs); err != nil {
+		t.Fatalf("empty path must be a no-op, got %v", err)
+	}
+	if err := ExportTrace(filepath.Join(t.TempDir(), "t.jsonl"), "bogus", runs); err == nil {
+		t.Fatal("want error for unknown format")
+	}
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := ExportTrace(path, "jsonl", runs); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "unit") {
+		t.Fatalf("exported trace missing run label:\n%s", blob)
+	}
+}
+
+func TestSummarizeTraceTopZero(t *testing.T) {
+	var sb strings.Builder
+	SummarizeTrace(&sb, []trace.Run{{Label: "unit", Procs: 1, Model: sim.CC}}, sim.CC, 0)
+	if sb.Len() != 0 {
+		t.Fatalf("top=0 must print nothing, got %q", sb.String())
+	}
+	SummarizeTrace(&sb, []trace.Run{{Label: "unit", Procs: 1, Model: sim.CC}}, sim.CC, 3)
+	if sb.Len() == 0 {
+		t.Fatal("top=3 must print the attribution tables")
+	}
+}

@@ -24,9 +24,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rme/internal/mutex"
 	"rme/internal/sim"
+	"rme/internal/telemetry"
 	"rme/internal/trace"
 )
 
@@ -98,6 +100,12 @@ type Options struct {
 	// Capturing overrides Session.NoTrace for the duration of the run (the
 	// machine must retain events to have a trace to hand over).
 	Trace *trace.Capture
+	// Telemetry, when non-nil, receives live run statistics: engine_runs /
+	// engine_run_errors counters, engine_busy_ns worker busy time,
+	// engine_jobs_pending / engine_workers gauges, and the worker pool's
+	// engine_session_reuse / engine_session_build counters. Purely
+	// observational — results are unaffected.
+	Telemetry *telemetry.Registry
 	// StopOn, when non-nil, is evaluated on every completed Result (possibly
 	// from several worker goroutines at once, so it must be safe for
 	// concurrent use); once it returns true, specs that have not started are
@@ -130,6 +138,12 @@ func Run(specs []RunSpec, opts Options) []Result {
 	if opts.Trace != nil {
 		base = opts.Trace.Reserve(len(specs))
 	}
+	tm := newRunTelemetry(opts.Telemetry)
+	if tm != nil {
+		tm.pending.Add(int64(len(specs)))
+		tm.workers.Add(int64(par))
+		defer tm.workers.Add(-int64(par))
+	}
 	var stopped atomic.Bool
 	done := func(i int, r Result) {
 		res[i] = r
@@ -140,12 +154,13 @@ func Run(specs []RunSpec, opts Options) []Result {
 	if par <= 1 {
 		w := NewWorker()
 		defer w.Close()
+		w.Instrument(opts.Telemetry)
 		for i := range specs {
 			if stopped.Load() {
-				done(i, Result{Index: i, Skipped: true})
+				done(i, tm.skip(i))
 				continue
 			}
-			done(i, runOne(w, i, &specs[i], opts.Metrics, opts.Trace, base+i))
+			done(i, runOne(w, i, &specs[i], opts.Metrics, opts.Trace, base+i, tm))
 		}
 		return res
 	}
@@ -157,12 +172,13 @@ func Run(specs []RunSpec, opts Options) []Result {
 			defer wg.Done()
 			w := NewWorker()
 			defer w.Close()
+			w.Instrument(opts.Telemetry)
 			for i := range jobs {
 				if stopped.Load() {
-					done(i, Result{Index: i, Skipped: true})
+					done(i, tm.skip(i))
 					continue
 				}
-				done(i, runOne(w, i, &specs[i], opts.Metrics, opts.Trace, base+i))
+				done(i, runOne(w, i, &specs[i], opts.Metrics, opts.Trace, base+i, tm))
 			}
 		}()
 	}
@@ -174,7 +190,52 @@ func Run(specs []RunSpec, opts Options) []Result {
 	return res
 }
 
-func runOne(w *Worker, i int, spec *RunSpec, m *Metrics, tc *trace.Capture, slot int) Result {
+// runTelemetry bundles the live-run handles Run resolves once per batch;
+// nil when telemetry is disabled.
+type runTelemetry struct {
+	runs, errs, busy *telemetry.Counter
+	pending, workers *telemetry.Gauge
+}
+
+func newRunTelemetry(reg *telemetry.Registry) *runTelemetry {
+	if reg == nil {
+		return nil
+	}
+	return &runTelemetry{
+		runs:    reg.Counter("engine_runs"),
+		errs:    reg.Counter("engine_run_errors"),
+		busy:    reg.Counter("engine_busy_ns"),
+		pending: reg.Gauge("engine_jobs_pending"),
+		workers: reg.Gauge("engine_workers"),
+	}
+}
+
+// skip accounts a fail-fast-skipped spec and returns its Result.
+func (tm *runTelemetry) skip(i int) Result {
+	if tm != nil {
+		tm.pending.Add(-1)
+	}
+	return Result{Index: i, Skipped: true}
+}
+
+// runOne wraps execOne with busy-time and run accounting when telemetry is
+// enabled; the timing never feeds back into the result.
+func runOne(w *Worker, i int, spec *RunSpec, m *Metrics, tc *trace.Capture, slot int, tm *runTelemetry) Result {
+	if tm == nil {
+		return execOne(w, i, spec, m, tc, slot)
+	}
+	tm.pending.Add(-1)
+	start := time.Now()
+	r := execOne(w, i, spec, m, tc, slot)
+	tm.busy.Add(time.Since(start).Nanoseconds())
+	tm.runs.Inc()
+	if r.Err != nil {
+		tm.errs.Inc()
+	}
+	return r
+}
+
+func execOne(w *Worker, i int, spec *RunSpec, m *Metrics, tc *trace.Capture, slot int) Result {
 	r := Result{Index: i}
 	cfg := spec.Session
 	if tc != nil {
@@ -271,10 +332,22 @@ func ForEach(n, parallel int, fn func(i int) error) error {
 // concurrent use; Run gives each pool goroutine its own.
 type Worker struct {
 	spare *mutex.Session
+
+	// reuse/build count Session outcomes when the worker is instrumented;
+	// both are nil-safe no-ops otherwise.
+	reuse *telemetry.Counter
+	build *telemetry.Counter
 }
 
 // NewWorker returns an empty worker.
 func NewWorker() *Worker { return &Worker{} }
+
+// Instrument attaches engine_session_reuse / engine_session_build counters
+// from reg to this worker. A nil reg leaves the worker uninstrumented.
+func (w *Worker) Instrument(reg *telemetry.Registry) {
+	w.reuse = reg.Counter("engine_session_reuse")
+	w.build = reg.Counter("engine_session_build")
+}
 
 // Session checks out a session for cfg. If the worker holds a released
 // session with a compatible configuration it is Reset and handed back
@@ -285,11 +358,13 @@ func (w *Worker) Session(cfg mutex.Config) (*mutex.Session, error) {
 		w.spare = nil
 		if mutex.Compatible(s.Config(), cfg) {
 			if err := s.Reset(); err == nil {
+				w.reuse.Inc()
 				return s, nil
 			}
 		}
 		s.Close()
 	}
+	w.build.Inc()
 	return mutex.NewSession(cfg)
 }
 

@@ -23,6 +23,7 @@ import (
 	"rme/internal/engine"
 	"rme/internal/mutex"
 	"rme/internal/sim"
+	"rme/internal/telemetry"
 )
 
 // Campaign configures one fault-injection run against one algorithm.
@@ -52,6 +53,13 @@ type Campaign struct {
 	MaxFailures int
 	// ShrinkReplays caps replays spent minimizing each failure (default 400).
 	ShrinkReplays int
+
+	// Telemetry, when non-nil, receives live campaign statistics: a
+	// faults_plans gauge once the grid is generated, faults_runs /
+	// faults_failures counters as Drives complete, and faults_shrinks /
+	// faults_shrink_replays counters from the minimizer. Write-only — the
+	// campaign never reads it, so reports are identical with it on or off.
+	Telemetry *telemetry.Registry
 }
 
 // SourceStat is one source's row in the campaign report.
@@ -210,7 +218,12 @@ func (c Campaign) Run() (*Report, error) {
 	}
 
 	// Execute on the engine pool, snapshotting outcomes inside Drive (the
-	// session is recycled immediately after).
+	// session is recycled immediately after). The live counters tick inside
+	// Drive so a heartbeat shows run/failure progress; report evaluation
+	// below stays purely schedule-order deterministic.
+	c.Telemetry.Gauge("faults_plans").Set(int64(len(jobs)))
+	runsLive := c.Telemetry.Counter("faults_runs")
+	failuresLive := c.Telemetry.Counter("faults_failures")
 	outcomes := make([]*Outcome, len(jobs))
 	failed := make([]string, len(jobs)) // oracle detail, "" = clean
 	oracleOf := make([]Oracle, len(jobs))
@@ -235,11 +248,15 @@ func (c Campaign) Run() (*Report, error) {
 					// surface it rather than swallowing it.
 					failed[i] = err.Error()
 				}
+				runsLive.Inc()
+				if failed[i] != "" {
+					failuresLive.Inc()
+				}
 				return nil
 			},
 		}
 	}
-	opts := engine.Options{Parallel: c.Parallel}
+	opts := engine.Options{Parallel: c.Parallel, Telemetry: c.Telemetry}
 	if c.FailFast {
 		opts.StopOn = func(r engine.Result) bool {
 			return r.Err != nil || failed[r.Index] != ""
@@ -322,6 +339,8 @@ func (c Campaign) minimize(cfg mutex.Config, fail *Failure, oracle Oracle) {
 	shrunk, replays := Shrink(cfg, fail.Schedule, oracle, budget)
 	fail.Shrunk = shrunk
 	fail.ShrinkReplays = replays
+	c.Telemetry.Counter("faults_shrinks").Inc()
+	c.Telemetry.Counter("faults_shrink_replays").Add(int64(replays))
 }
 
 // probe measures the crash-free round-robin execution: its decision count

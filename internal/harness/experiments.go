@@ -21,6 +21,7 @@ import (
 	"rme/internal/memory"
 	"rme/internal/mutex"
 	"rme/internal/sim"
+	"rme/internal/telemetry"
 	"rme/internal/trace"
 	"rme/internal/word"
 )
@@ -45,10 +46,13 @@ type Options struct {
 	// export (cmd/rmrbench -trace). Experiments that bypass the engine's
 	// Run (adversary constructions) are not captured.
 	Trace *trace.Capture
+	// Telemetry, when non-nil, receives live engine statistics from every
+	// experiment grid (see engine.Options.Telemetry).
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) engineOpts() engine.Options {
-	return engine.Options{Parallel: o.Parallel, Metrics: o.Metrics, Trace: o.Trace}
+	return engine.Options{Parallel: o.Parallel, Metrics: o.Metrics, Trace: o.Trace, Telemetry: o.Telemetry}
 }
 
 // Experiment is one reproducible result.

@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record is one JSONL snapshot of the metrics stream (-metrics FILE): the
+// wall-clock offset since the heartbeat started, the cumulative metric
+// values at that instant (flattened per Snapshot.Flat), and a Final marker
+// on the closing record, which is always written and always cumulative.
+type Record struct {
+	// TMS is milliseconds since the heartbeat started.
+	TMS float64 `json:"t_ms"`
+	// Final marks the closing cumulative record written by Stop.
+	Final bool `json:"final,omitempty"`
+	// Label names the emitting tool/phase.
+	Label string `json:"label,omitempty"`
+	// Metrics are the cumulative values at this instant.
+	Metrics map[string]int64 `json:"metrics"`
+}
+
+// ReadRecords parses a JSONL metrics stream (blank lines skipped).
+func ReadRecords(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var out []Record
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("telemetry: record %d: %w", len(out)+1, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Ratio is a derived percentage on the human progress line:
+// 100*Num/sum(Den), omitted while the denominator is zero.
+type Ratio struct {
+	Label string
+	Num   string
+	Den   []string
+}
+
+// View selects what the human progress line shows for one tool. Metric
+// names refer to registry series; missing series render as absent, so a
+// view can name metrics a given run never touches.
+type View struct {
+	// Progress is the counter that headlines the line with its value and
+	// rate, and drives the ETA.
+	Progress string
+	// Target, when non-empty, names the metric capping Progress; a nonzero
+	// target yields an ETA estimate from the cumulative rate.
+	Target string
+	// Show lists extra metrics rendered as name=value (+rate/s).
+	Show []string
+	// Ratios are derived percentages (hit rates, prune rates, ...).
+	Ratios []Ratio
+	// UtilBusy/UtilWorkers, when both set, render worker utilization:
+	// the delta of the UtilBusy nanosecond counter over wall time times the
+	// UtilWorkers gauge.
+	UtilBusy    string
+	UtilWorkers string
+}
+
+// HeartbeatConfig parameterizes StartHeartbeat.
+type HeartbeatConfig struct {
+	// Registry is the metrics source (required).
+	Registry *Registry
+	// Interval is the tick period (required, > 0).
+	Interval time.Duration
+	// Out receives human progress lines; nil disables them.
+	Out io.Writer
+	// Metrics receives the JSONL stream; nil disables it. The writer is
+	// used from the heartbeat goroutine and from Stop, never concurrently.
+	Metrics io.Writer
+	// Label prefixes human lines and stamps JSONL records.
+	Label string
+	// View selects the human-line contents.
+	View View
+}
+
+// Heartbeat periodically snapshots a registry, rendering human progress
+// lines and appending JSONL records. Start emits one baseline record, every
+// tick emits one, and Stop emits the final cumulative record, so a stream
+// always holds at least two snapshots bracketing the instrumented work.
+type Heartbeat struct {
+	cfg    HeartbeatConfig
+	start  time.Time
+	ticker *time.Ticker
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	// prev* hold the previous emission, for rate deltas (heartbeat
+	// goroutine and Stop only, serialized by the stop channel).
+	prevAt   time.Duration
+	prevFlat map[string]int64
+
+	stopOnce sync.Once
+}
+
+// StartHeartbeat begins emitting. It returns nil when the config has no
+// registry or no sink, so callers can unconditionally Stop the result.
+func StartHeartbeat(cfg HeartbeatConfig) *Heartbeat {
+	if cfg.Registry == nil || (cfg.Out == nil && cfg.Metrics == nil) {
+		return nil
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	h := &Heartbeat{
+		cfg:   cfg,
+		start: time.Now(),
+		stop:  make(chan struct{}),
+	}
+	// Baseline record: the stream starts with the pre-work state.
+	h.emitJSONL(h.cfg.Registry.Snapshot(), 0, false)
+	h.prevAt = 0
+	h.prevFlat = h.cfg.Registry.Snapshot().Flat()
+	h.ticker = time.NewTicker(cfg.Interval)
+	h.wg.Add(1)
+	go h.loop()
+	return h
+}
+
+func (h *Heartbeat) loop() {
+	defer h.wg.Done()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-h.ticker.C:
+			h.tick(false)
+		}
+	}
+}
+
+// Stop halts the ticker and writes the final cumulative record (and final
+// human line). Safe on a nil receiver and safe to call twice.
+func (h *Heartbeat) Stop() {
+	if h == nil {
+		return
+	}
+	h.stopOnce.Do(func() {
+		close(h.stop)
+		h.wg.Wait()
+		h.ticker.Stop()
+		h.tick(true)
+	})
+}
+
+// tick renders one snapshot. Called from the heartbeat goroutine and, after
+// it has exited, from Stop — never concurrently.
+func (h *Heartbeat) tick(final bool) {
+	at := time.Since(h.start)
+	snap := h.cfg.Registry.Snapshot()
+	h.emitHuman(snap, at, final)
+	h.emitJSONL(snap, at, final)
+	h.prevAt = at
+	h.prevFlat = snap.Flat()
+}
+
+func (h *Heartbeat) emitJSONL(snap Snapshot, at time.Duration, final bool) {
+	if h.cfg.Metrics == nil {
+		return
+	}
+	rec := Record{
+		TMS:     float64(at.Microseconds()) / 1000,
+		Final:   final,
+		Label:   h.cfg.Label,
+		Metrics: snap.Flat(),
+	}
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	h.cfg.Metrics.Write(append(blob, '\n'))
+}
+
+func (h *Heartbeat) emitHuman(snap Snapshot, at time.Duration, final bool) {
+	if h.cfg.Out == nil {
+		return
+	}
+	flat := snap.Flat()
+	dt := (at - h.prevAt).Seconds()
+	var b strings.Builder
+	if h.cfg.Label != "" {
+		fmt.Fprintf(&b, "%s ", h.cfg.Label)
+	}
+	fmt.Fprintf(&b, "%.1fs", at.Seconds())
+	if final {
+		b.WriteString(" done")
+	}
+	v := h.cfg.View
+	if cur, ok := flat[v.Progress]; ok {
+		fmt.Fprintf(&b, " %s=%s", shortName(v.Progress), humanCount(cur))
+		if !final && dt > 0 {
+			fmt.Fprintf(&b, " (+%s/s)", humanCount(rate(cur, h.prevFlat[v.Progress], dt)))
+		}
+	}
+	for _, name := range v.Show {
+		cur, ok := flat[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, " %s=%s", shortName(name), humanCount(cur))
+		if !final && dt > 0 {
+			fmt.Fprintf(&b, " (+%s/s)", humanCount(rate(cur, h.prevFlat[name], dt)))
+		}
+	}
+	for _, r := range v.Ratios {
+		num, ok := flat[r.Num]
+		if !ok {
+			continue
+		}
+		den := int64(0)
+		for _, d := range r.Den {
+			den += flat[d]
+		}
+		if den > 0 {
+			fmt.Fprintf(&b, " %s=%.1f%%", r.Label, 100*float64(num)/float64(den))
+		}
+	}
+	if v.UtilBusy != "" && v.UtilWorkers != "" && !final && dt > 0 {
+		if workers := flat[v.UtilWorkers]; workers > 0 {
+			busy := float64(flat[v.UtilBusy]-h.prevFlat[v.UtilBusy]) / float64(time.Second)
+			fmt.Fprintf(&b, " util=%.0f%%", 100*busy/(dt*float64(workers)))
+		}
+	}
+	if !final && v.Target != "" {
+		if target, ok := flat[v.Target]; ok && target > 0 {
+			cur := flat[v.Progress]
+			fmt.Fprintf(&b, " %.1f%% of %s", 100*float64(cur)/float64(target), humanCount(target))
+			if cur > 0 && cur < target && at > 0 {
+				perSec := float64(cur) / at.Seconds()
+				eta := time.Duration(float64(target-cur) / perSec * float64(time.Second))
+				fmt.Fprintf(&b, " eta=%s", eta.Round(time.Second))
+			}
+		}
+	}
+	fmt.Fprintln(h.cfg.Out, b.String())
+}
+
+func rate(cur, prev int64, dt float64) int64 {
+	if cur <= prev {
+		return 0
+	}
+	return int64(float64(cur-prev) / dt)
+}
+
+// shortName trims the subsystem prefix for the human line (the JSONL stream
+// keeps full names).
+func shortName(name string) string {
+	if i := strings.IndexByte(name, '_'); i >= 0 && i+1 < len(name) {
+		return name[i+1:]
+	}
+	return name
+}
+
+// humanCount renders a count compactly (1234 -> 1.2k, 2500000 -> 2.5M).
+func humanCount(v int64) string {
+	switch {
+	case v >= 1_000_000_000:
+		return fmt.Sprintf("%.1fG", float64(v)/1e9)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(v)/1e6)
+	case v >= 10_000:
+		return fmt.Sprintf("%.1fk", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer guards a bytes.Buffer: the heartbeat goroutine writes while
+// tests read.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestHeartbeatStream: the JSONL stream brackets the work — a baseline
+// record at start, a final cumulative record at Stop — with cumulative,
+// monotone values in between.
+func TestHeartbeatStream(t *testing.T) {
+	reg := New()
+	visited := reg.Counter("check_states_visited")
+	var jsonl syncBuffer
+	hb := StartHeartbeat(HeartbeatConfig{
+		Registry: reg,
+		Interval: time.Millisecond,
+		Metrics:  &jsonl,
+		Label:    "check",
+	})
+	for i := 0; i < 50; i++ {
+		visited.Add(10)
+		time.Sleep(500 * time.Microsecond)
+	}
+	hb.Stop()
+	hb.Stop() // idempotent
+
+	recs, err := ReadRecords(strings.NewReader(jsonl.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 2 {
+		t.Fatalf("want >= 2 snapshots, got %d", len(recs))
+	}
+	if recs[0].Metrics["check_states_visited"] != 0 {
+		t.Fatalf("baseline record not pre-work: %+v", recs[0])
+	}
+	last := recs[len(recs)-1]
+	if !last.Final {
+		t.Fatalf("last record not final: %+v", last)
+	}
+	if got := last.Metrics["check_states_visited"]; got != 500 {
+		t.Fatalf("final cumulative value = %d, want 500", got)
+	}
+	if last.Label != "check" {
+		t.Fatalf("label lost: %+v", last)
+	}
+	prev := int64(-1)
+	prevT := -1.0
+	for i, rec := range recs {
+		if rec.Metrics["check_states_visited"] < prev || rec.TMS < prevT {
+			t.Fatalf("record %d not monotone: %+v after %d/%.1f", i, rec, prev, prevT)
+		}
+		prev, prevT = rec.Metrics["check_states_visited"], rec.TMS
+	}
+}
+
+// TestHeartbeatHumanLine: the stderr rendering shows progress with a rate,
+// ratios, and the ETA against the target metric.
+func TestHeartbeatHumanLine(t *testing.T) {
+	reg := New()
+	visited := reg.Counter("check_states_visited")
+	pruned := reg.Counter("check_states_pruned")
+	reg.Gauge("check_max_states").Set(100000)
+	var out syncBuffer
+	hb := StartHeartbeat(HeartbeatConfig{
+		Registry: reg,
+		Interval: 2 * time.Millisecond,
+		Out:      &out,
+		Label:    "check",
+		View: View{
+			Progress: "check_states_visited",
+			Target:   "check_max_states",
+			Ratios: []Ratio{{
+				Label: "memo_hit",
+				Num:   "check_states_pruned",
+				Den:   []string{"check_states_visited", "check_states_pruned"},
+			}},
+		},
+	})
+	visited.Add(300)
+	pruned.Add(100)
+	time.Sleep(10 * time.Millisecond)
+	visited.Add(300)
+	hb.Stop()
+
+	text := out.String()
+	for _, want := range []string{"check ", "states_visited=", "memo_hit=", "% of 100.0k", "done"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("human output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestHeartbeatDisabled: no registry or no sink means no heartbeat, and the
+// nil result is still stoppable.
+func TestHeartbeatDisabled(t *testing.T) {
+	if hb := StartHeartbeat(HeartbeatConfig{Interval: time.Millisecond, Metrics: &bytes.Buffer{}}); hb != nil {
+		t.Fatal("heartbeat started without a registry")
+	}
+	if hb := StartHeartbeat(HeartbeatConfig{Registry: New(), Interval: time.Millisecond}); hb != nil {
+		t.Fatal("heartbeat started without a sink")
+	}
+	StartHeartbeat(HeartbeatConfig{}).Stop()
+}
+
+func TestReadRecordsErrors(t *testing.T) {
+	if _, err := ReadRecords(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("malformed record parsed")
+	}
+	recs, err := ReadRecords(strings.NewReader("\n\n"))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("blank stream: %v %v", recs, err)
+	}
+}
+
+func TestHumanCount(t *testing.T) {
+	for v, want := range map[int64]string{
+		7:             "7",
+		9999:          "9999",
+		10_000:        "10.0k",
+		2_500_000:     "2.5M",
+		3_000_000_000: "3.0G",
+	} {
+		if got := humanCount(v); got != want {
+			t.Errorf("humanCount(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
