@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesJSONReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "native.json")
+	err := run([]string{
+		"-algs", "mcs,watree", "-procs", "1,2", "-passes", "40", "-warmup", "5",
+		"-json", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep nativeReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Points) != 4 {
+		t.Fatalf("points = %d, want 4 (2 algs x 2 sweep values)", len(rep.Points))
+	}
+	for _, pt := range rep.Points {
+		if pt.ThroughputPerSec <= 0 {
+			t.Errorf("%s n=%d: nonpositive throughput", pt.Alg, pt.Procs)
+		}
+		if pt.Histogram.Count != int64(pt.Procs*pt.Passes) {
+			t.Errorf("%s n=%d: histogram count = %d, want %d",
+				pt.Alg, pt.Procs, pt.Histogram.Count, pt.Procs*pt.Passes)
+		}
+		if len(pt.Histogram.BoundsNS) == 0 || len(pt.Histogram.Buckets) != len(pt.Histogram.BoundsNS)+1 {
+			t.Errorf("%s n=%d: malformed histogram (%d bounds, %d buckets)",
+				pt.Alg, pt.Procs, len(pt.Histogram.BoundsNS), len(pt.Histogram.Buckets))
+		}
+		if pt.Latency.P50NS <= 0 || pt.Latency.MaxNS < pt.Latency.P99NS {
+			t.Errorf("%s n=%d: implausible latency summary %+v", pt.Alg, pt.Procs, pt.Latency)
+		}
+		if pt.SimCCRMRPerPassageMax <= 0 {
+			t.Errorf("%s n=%d: missing sim correlation", pt.Alg, pt.Procs)
+		}
+	}
+}
+
+func TestRunMergesIntoExistingReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_results.json")
+	if err := os.WriteFile(path, []byte(`{"full": true, "experiments": []}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{
+		"-algs", "ticket", "-procs", "1", "-passes", "30", "-warmup", "5", "-nosim",
+		"-merge", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(blob, &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj["full"] != true {
+		t.Error("merge dropped existing keys")
+	}
+	native, ok := obj["native"].(map[string]any)
+	if !ok {
+		t.Fatalf("no native key after merge: %v", obj)
+	}
+	if pts, ok := native["points"].([]any); !ok || len(pts) != 1 {
+		t.Errorf("native.points = %v", native["points"])
+	}
+}
+
+func TestRunCrashInjectionSweep(t *testing.T) {
+	// Crash-mode benchmarking on a recoverable algorithm must complete and
+	// record crashes.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "native.json")
+	err := run([]string{
+		"-algs", "rspin", "-procs", "2", "-passes", "60", "-warmup", "5",
+		"-crashevery", "4", "-nosim", "-json", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep nativeReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 1 || rep.Points[0].Crashes == 0 {
+		t.Fatalf("expected injected crashes in report, got %+v", rep.Points)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-algs", "nosuchlock"}); err == nil {
+		t.Error("unknown algorithm: want error")
+	}
+	if err := run([]string{"-procs", "0"}); err == nil {
+		t.Error("-procs 0: want error")
+	}
+	if err := run([]string{"-width", "65"}); err == nil {
+		t.Error("width 65: want error")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	for _, tc := range []struct {
+		p    int
+		want int64
+	}{{50, 50}, {90, 90}, {99, 100}, {100, 100}} {
+		if got := percentile(s, tc.p); got != tc.want {
+			t.Errorf("p%d = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %d", got)
+	}
+}
+
+func TestMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"mcs":         "mcs",
+		"watree(f=2)": "watree_f_2_",
+		"watree+fast": "watree_fast",
+	} {
+		if got := metricName(in); got != want {
+			t.Errorf("metricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -126,3 +126,7 @@ func TestExhaustiveTwoProcs(t *testing.T) {
 func TestFaultCampaign(t *testing.T) {
 	algtest.Campaign(t, clh.New(), 3, 8, sim.CC)
 }
+
+func TestNativeConformance(t *testing.T) {
+	algtest.RunNative(t, clh.New(), algtest.NativeOptions{})
+}

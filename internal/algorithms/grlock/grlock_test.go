@@ -88,3 +88,7 @@ func TestFaultCampaign(t *testing.T) {
 	algtest.Campaign(t, grlock.New(), 3, 8, sim.CC)
 	algtest.Campaign(t, grlock.New(), 3, 8, sim.DSM)
 }
+
+func TestNativeConformance(t *testing.T) {
+	algtest.RunNative(t, grlock.New(), algtest.NativeOptions{})
+}

@@ -113,3 +113,7 @@ func TestFIFOOrderUnderLockstep(t *testing.T) {
 func TestFaultCampaign(t *testing.T) {
 	algtest.Campaign(t, mcs.New(), 3, 8, sim.CC)
 }
+
+func TestNativeConformance(t *testing.T) {
+	algtest.RunNative(t, mcs.New(), algtest.NativeOptions{})
+}

@@ -117,3 +117,7 @@ func TestFaultCampaign(t *testing.T) {
 	algtest.Campaign(t, qword.New(), 3, 8, sim.CC)
 	algtest.Campaign(t, qword.New(), 3, 8, sim.DSM)
 }
+
+func TestNativeConformance(t *testing.T) {
+	algtest.RunNative(t, qword.New(), algtest.NativeOptions{})
+}

@@ -105,3 +105,7 @@ func TestFaultCampaign(t *testing.T) {
 	algtest.Campaign(t, rspin.New(), 3, 8, sim.CC)
 	algtest.Campaign(t, rspin.New(), 3, 8, sim.DSM)
 }
+
+func TestNativeConformance(t *testing.T) {
+	algtest.RunNative(t, rspin.New(), algtest.NativeOptions{})
+}

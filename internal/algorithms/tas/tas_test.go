@@ -57,3 +57,7 @@ func TestWorksAtWidthOne(t *testing.T) {
 func TestFaultCampaign(t *testing.T) {
 	algtest.Campaign(t, tas.New(), 3, 8, sim.CC)
 }
+
+func TestNativeConformance(t *testing.T) {
+	algtest.RunNative(t, tas.New(), algtest.NativeOptions{})
+}

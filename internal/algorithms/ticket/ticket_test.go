@@ -87,3 +87,7 @@ func TestLinearWaitingCostCC(t *testing.T) {
 func TestFaultCampaign(t *testing.T) {
 	algtest.Campaign(t, ticket.New(), 3, 8, sim.CC)
 }
+
+func TestNativeConformance(t *testing.T) {
+	algtest.RunNative(t, ticket.New(), algtest.NativeOptions{})
+}

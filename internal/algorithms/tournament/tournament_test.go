@@ -77,3 +77,7 @@ func TestWorksAtWidthOne(t *testing.T) {
 func TestFaultCampaign(t *testing.T) {
 	algtest.Campaign(t, tournament.New(), 3, 8, sim.CC)
 }
+
+func TestNativeConformance(t *testing.T) {
+	algtest.RunNative(t, tournament.New(), algtest.NativeOptions{})
+}

@@ -282,3 +282,21 @@ func TestFaultCampaign(t *testing.T) {
 	algtest.Campaign(t, watree.New(), 3, 8, sim.CC)
 	algtest.Campaign(t, watree.New(watree.WithFanout(2)), 3, 8, sim.DSM)
 }
+
+func TestNativeConformance(t *testing.T) {
+	algtest.RunNative(t, watree.New(), algtest.NativeOptions{})
+}
+
+func TestNativeConformanceBinaryFanout(t *testing.T) {
+	// The deepest tree: most levels of handoff state to recover through.
+	algtest.RunNative(t, watree.New(watree.WithFanout(2)), algtest.NativeOptions{Procs: []int{2, 4}})
+}
+
+func TestNativeConformanceFastPath(t *testing.T) {
+	algtest.RunNative(t, watree.New(watree.WithFastPath()), algtest.NativeOptions{Procs: []int{2, 4}})
+}
+
+func TestNativeConformanceNarrowWord(t *testing.T) {
+	// Narrow words force the native CAS-loop arithmetic paths end to end.
+	algtest.RunNative(t, watree.New(), algtest.NativeOptions{Width: 8, Procs: []int{2, 4}})
+}

@@ -112,3 +112,7 @@ func TestNonPowerOfTwo(t *testing.T) {
 func TestFaultCampaign(t *testing.T) {
 	algtest.Campaign(t, yatree.New(), 3, 8, sim.CC)
 }
+
+func TestNativeConformance(t *testing.T) {
+	algtest.RunNative(t, yatree.New(), algtest.NativeOptions{})
+}

@@ -1,0 +1,239 @@
+package algtest
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rme/internal/mutex"
+	"rme/internal/word"
+)
+
+// NativeOptions tunes the native-backend conformance run.
+type NativeOptions struct {
+	// Width is the word size (default 64, the full hardware word).
+	Width word.Width
+	// Procs lists the process counts exercised (default 2, 4, 8).
+	Procs []int
+	// Passes is the number of super-passages per process per subtest
+	// (default 30; 10 under -short).
+	Passes int
+}
+
+func (o NativeOptions) withDefaults() NativeOptions {
+	if o.Width == 0 {
+		o.Width = word.MaxBits
+	}
+	if len(o.Procs) == 0 {
+		o.Procs = []int{2, 4, 8}
+	}
+	if o.Passes == 0 {
+		o.Passes = 30
+		if testing.Short() {
+			o.Passes = 10
+		}
+	}
+	return o
+}
+
+// RunNative executes the native-backend conformance suite: the algorithm
+// runs on real sync/atomic memory with true goroutine concurrency instead
+// of the simulator's scheduled interleavings. Mutual exclusion is witnessed
+// two ways at once — an unsynchronized counter that the race detector
+// watches (any overlap in the CS is a reported data race) and an atomic
+// holder check (any overlap fails even without -race). For recoverable
+// algorithms, panic-based crash injection sweeps the crash point across the
+// passage and then storms random points under contention, driving the
+// recover protocol on real atomics.
+//
+// These tests are meaningful without -race but are designed to run under
+// it, across several GOMAXPROCS values (see the native-race CI job).
+func RunNative(t *testing.T, alg mutex.Algorithm, opts NativeOptions) {
+	t.Helper()
+	opts = opts.withDefaults()
+
+	t.Run("MutualExclusion", func(t *testing.T) {
+		for _, n := range opts.Procs {
+			n := n
+			t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+				testNativeMutex(t, alg, opts, n)
+			})
+		}
+	})
+	if alg.Recoverable() {
+		t.Run("CrashSweep", func(t *testing.T) { testNativeCrashSweep(t, alg, opts) })
+		t.Run("CrashStorm", func(t *testing.T) {
+			for _, n := range opts.Procs {
+				n := n
+				t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+					testNativeCrashStorm(t, alg, opts, n)
+				})
+			}
+		})
+		t.Run("RestartRecover", func(t *testing.T) { testNativeRestart(t, alg, opts) })
+	}
+}
+
+func newNativeLock(t *testing.T, alg mutex.Algorithm, opts NativeOptions, n int) *mutex.NativeLock {
+	t.Helper()
+	lock, err := mutex.NewNativeLock(alg, n, opts.Width)
+	if err != nil {
+		t.Fatalf("native lock (n=%d, w=%d): %v", n, opts.Width, err)
+	}
+	return lock
+}
+
+// criticalSection builds the double mutual exclusion witness shared by the
+// native tests: tally is deliberately unsynchronized so -race flags any CS
+// overlap, and the holder CAS catches overlap without -race.
+func criticalSection(t *testing.T, tally *int, holder *atomic.Int32, id int) func() {
+	return func() {
+		if !holder.CompareAndSwap(0, int32(id+1)) {
+			t.Errorf("process %d entered the CS while process %d held it", id, holder.Load()-1)
+		}
+		*tally++
+		holder.Store(0)
+	}
+}
+
+func testNativeMutex(t *testing.T, alg mutex.Algorithm, opts NativeOptions, n int) {
+	lock := newNativeLock(t, alg, opts, n)
+	var (
+		tally  int
+		holder atomic.Int32
+		wg     sync.WaitGroup
+	)
+	for id := 0; id < n; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := lock.Bind(id)
+			cs := criticalSection(t, &tally, &holder, id)
+			for p := 0; p < opts.Passes; p++ {
+				h.Lock()
+				cs()
+				h.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if want := n * opts.Passes; tally != want {
+		t.Errorf("critical section ran %d times, want %d", tally, want)
+	}
+}
+
+// testNativeCrashSweep crashes a solo process at every operation offset
+// from the start of a super-passage, walking the crash point through entry,
+// the CS boundary, exit, and recovery itself. Every passage must complete
+// and leave the lock acquirable by a second process.
+func testNativeCrashSweep(t *testing.T, alg mutex.Algorithm, opts NativeOptions) {
+	lock := newNativeLock(t, alg, opts, 2)
+	h := lock.Bind(0)
+	var (
+		tally  int
+		holder atomic.Int32
+	)
+	cs := criticalSection(t, &tally, &holder, 0)
+	sweep := int64(3 * opts.Passes)
+	for off := int64(0); off < sweep; off++ {
+		h.CrashAfter(off)
+		h.Super(cs)
+		h.CrashAfter(-1)
+	}
+	if h.Crashes() == 0 {
+		t.Error("sweep never triggered a crash")
+	}
+	if tally < int(sweep) {
+		t.Errorf("critical section ran %d times, want >= %d", tally, sweep)
+	}
+	other := lock.Bind(1)
+	entered := false
+	other.Super(func() { entered = true })
+	if !entered {
+		t.Error("lock not acquirable after the crash sweep")
+	}
+}
+
+func testNativeCrashStorm(t *testing.T, alg mutex.Algorithm, opts NativeOptions, n int) {
+	lock := newNativeLock(t, alg, opts, n)
+	var (
+		tally   int
+		holder  atomic.Int32
+		crashes atomic.Int64
+		wg      sync.WaitGroup
+	)
+	for id := 0; id < n; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := lock.Bind(id)
+			cs := criticalSection(t, &tally, &holder, id)
+			for p := 0; p < opts.Passes; p++ {
+				if p%3 != 0 {
+					// Deterministic pseudo-random offsets spread crash points
+					// across the passage without a shared RNG.
+					h.CrashAfter(int64((id*37 + p*13) % 60))
+				}
+				h.Super(cs)
+				h.CrashAfter(-1)
+			}
+			crashes.Add(h.Crashes())
+		}()
+	}
+	wg.Wait()
+	// Crashes during exit may legally re-enter the CS (CSR), so the tally
+	// can exceed one per super-passage but never fall short.
+	if want := n * opts.Passes; tally < want {
+		t.Errorf("critical section ran %d times, want >= %d", tally, want)
+	}
+	if crashes.Load() == 0 {
+		t.Error("storm never triggered a crash")
+	}
+}
+
+// testNativeRestart kills a process's first incarnation mid-entry (the
+// goroutine and handle are discarded, as a real crashed thread would be)
+// and has a fresh incarnation recover from the shared cells alone, while a
+// peer keeps using the lock.
+func testNativeRestart(t *testing.T, alg mutex.Algorithm, opts NativeOptions) {
+	lock := newNativeLock(t, alg, opts, 2)
+	h := lock.Bind(0)
+	h.CrashAfter(2)
+	func() {
+		defer func() {
+			if r := recover(); r != nil && !mutex.IsInjectedCrash(r) {
+				panic(r)
+			}
+		}()
+		h.Lock()
+		h.Unlock()
+	}()
+
+	h2 := lock.Bind(0)
+	switch st := h2.Recover(); st {
+	case mutex.RecoverAcquired:
+		h2.Unlock()
+	case mutex.RecoverIdle, mutex.RecoverReleased:
+	default:
+		t.Fatalf("Recover after restart = %v", st)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		peer := lock.Bind(1)
+		for p := 0; p < opts.Passes; p++ {
+			peer.Lock()
+			peer.Unlock()
+		}
+	}()
+	for p := 0; p < opts.Passes; p++ {
+		h2.Lock()
+		h2.Unlock()
+	}
+	wg.Wait()
+}

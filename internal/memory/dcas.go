@@ -1,0 +1,257 @@
+package memory
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"rme/internal/word"
+)
+
+// Double compare-and-swap built from single-word CAS, in the style of
+// descriptor-based multi-word CAS constructions (Harris et al.'s RDCSS,
+// pmwcas): the operating process publishes a descriptor recording both
+// cells with their expected and new values, installs a marked handle to it
+// in each cell in CellID order, decides, and releases. While a handle is
+// installed, readers *read through* the descriptor — they look up the
+// logical value (expected before the decision, new after a successful one)
+// without waiting — so reads and spins stay non-blocking. Mutating
+// operations on a claimed cell retry until the owner releases it.
+//
+// This shim deliberately keeps installation, decision, and release with the
+// owning process instead of letting helpers complete foreign operations
+// (full pmwcas-style helping needs conditional-CAS machinery or epoch
+// reclamation to stop a stalled helper from re-installing a handle for an
+// already-decided descriptor). The consequences are documented in DESIGN.md:
+// a DCAS owner descheduled mid-operation delays conflicting *writers* of the
+// two claimed cells, though never readers; and crash injection (see
+// mutex.NativeLock) fires only between env operations, so a crash can never
+// orphan a half-installed descriptor.
+//
+// Handles occupy the word's top bit, so DCAS requires width <= 63; at the
+// full 64 bits the paper's model gives CAS enough room that none of the
+// implemented algorithms needs DCAS anyway (qword's protocol runs entirely
+// on single-cell custom ops through the Apply shim in native.go).
+
+// DoubleEnv is the optional extension interface for environments that
+// support a two-cell double compare-and-swap. Of the built-in runtimes only
+// the native backend implements it, after (*NativeMem).EnableDCAS.
+type DoubleEnv interface {
+	// DCAS atomically checks c1==e1 && c2==e2 and, if both hold, writes
+	// n1 and n2. It reports whether the swap took effect.
+	DCAS(c1 Cell, e1, n1 word.Word, c2 Cell, e2, n2 word.Word) bool
+}
+
+// Handle layout (bit 63 = mark, then the slot, then the generation) and the
+// packing of a descriptor's state word as gen<<2|status.
+const (
+	dcasMark     word.Word = 1 << 63
+	dcasSlotBits           = 12
+	dcasMaxSlots           = 1 << dcasSlotBits
+	dcasGenBits            = 63 - dcasSlotBits
+	dcasGenMask  word.Word = (1 << dcasGenBits) - 1
+)
+
+// Descriptor status, in the low two bits of dcasDesc.state.
+const (
+	dcasUndecided word.Word = 0 // handles may be installed; logical value = expected
+	dcasSucceeded word.Word = 1 // logical value = new
+	dcasFailed    word.Word = 2 // logical value = expected
+	dcasPreparing word.Word = 3 // owner is (re)writing fields; never visible via a handle
+)
+
+// EnableDCAS switches the allocator into DCAS mode: bit 63 of every cell is
+// reserved for descriptor handles (so the word width must be at most 63),
+// and plain writes route through mark-respecting CAS loops. Idempotent and
+// safe to call concurrently with ongoing operations — existing cell values
+// already fit in 63 bits, so no handle can be confused with data.
+func (m *NativeMem) EnableDCAS() error {
+	if m.width > word.MaxBits-1 {
+		return fmt.Errorf("memory: DCAS needs a reserved mark bit; width %d leaves none (max %d)",
+			m.width, word.MaxBits-1)
+	}
+	if m.dcas.Load() == nil {
+		m.dcas.CompareAndSwap(nil, &dcasTable{})
+	}
+	return nil
+}
+
+// DCASEnabled reports whether EnableDCAS has been called.
+func (m *NativeMem) DCASEnabled() bool { return m.dcas.Load() != nil }
+
+// dcasTable maps handle slots to descriptors. Slots are assigned to
+// environments lazily, one per process, and never freed; generations make
+// handles from earlier operations on the same slot detectably stale.
+type dcasTable struct {
+	next  atomic.Int64
+	descs [dcasMaxSlots]atomic.Pointer[dcasDesc]
+}
+
+// dcasDesc is one process's operation descriptor. Only the owner writes any
+// field; readers snapshot fields between two generation-verified loads of
+// state (the owner moves state to dcasPreparing under the *next* generation
+// before touching fields again, so a stable generation brackets a stable
+// snapshot).
+type dcasDesc struct {
+	state          atomic.Uint64 // gen<<2 | status
+	a, b           atomic.Pointer[nativeCell]
+	ea, na, eb, nb atomic.Uint64
+}
+
+func dcasHandle(slot int, gen word.Word) word.Word {
+	return dcasMark | word.Word(slot)<<dcasGenBits | gen
+}
+
+func dcasSlotOf(h word.Word) int      { return int(h >> dcasGenBits & (dcasMaxSlots - 1)) }
+func dcasGenOf(h word.Word) word.Word { return h & dcasGenMask }
+
+// DCAS implements DoubleEnv. The two cells must be distinct, and the
+// allocator must be in DCAS mode.
+func (e *nativeEnv) DCAS(c1 Cell, e1, n1 word.Word, c2 Cell, e2, n2 word.Word) bool {
+	t := e.mem.dcas.Load()
+	if t == nil {
+		panic("memory: DCAS requires (*NativeMem).EnableDCAS")
+	}
+	nc1, nc2 := e.cell(c1), e.cell(c2)
+	if nc1 == nc2 {
+		panic(fmt.Sprintf("memory: DCAS cells must be distinct (got %q twice)", nc1.label))
+	}
+	w := e.mem.width
+	e1, n1 = w.Trunc(e1), w.Trunc(n1)
+	e2, n2 = w.Trunc(e2), w.Trunc(n2)
+
+	// Claim cells in CellID order so concurrent DCAS owners cannot deadlock:
+	// every waiter holds only lower-numbered cells than the one it waits on.
+	a, ea, na, b, eb, nb := nc1, e1, n1, nc2, e2, n2
+	if b.id < a.id {
+		a, ea, na, b, eb, nb = nc2, e2, n2, nc1, e1, n1
+	}
+
+	d, h := e.openDesc(t, a, ea, na, b, eb, nb)
+	gen := dcasGenOf(h)
+	if !installHandle(a, ea, h) {
+		d.state.Store(gen<<2 | dcasFailed)
+		return false
+	}
+	if !installHandle(b, eb, h) {
+		d.state.Store(gen<<2 | dcasFailed)
+		a.v.Store(ea) // roll back; only the owner ever writes a claimed cell
+		return false
+	}
+	// Both cells claimed: the operation linearizes at this store. Readers
+	// that still see a handle read the new values through the descriptor.
+	d.state.Store(gen<<2 | dcasSucceeded)
+	a.v.Store(na)
+	b.v.Store(nb)
+	return true
+}
+
+// openDesc readies this environment's descriptor for a fresh operation and
+// returns it with its handle. The dcasPreparing phase under the new
+// generation invalidates any reader snapshot of the previous operation's
+// fields before they are overwritten.
+func (e *nativeEnv) openDesc(t *dcasTable, a *nativeCell, ea, na word.Word, b *nativeCell, eb, nb word.Word) (*dcasDesc, word.Word) {
+	slot := e.dcasSlot
+	if slot < 0 {
+		n := t.next.Add(1) - 1
+		if n >= dcasMaxSlots {
+			panic(fmt.Sprintf("memory: more than %d processes performing DCAS", dcasMaxSlots))
+		}
+		slot = int(n)
+		e.dcasSlot = slot
+		t.descs[slot].Store(&dcasDesc{})
+	}
+	d := t.descs[slot].Load()
+	gen := (d.state.Load()>>2 + 1) & dcasGenMask
+	d.state.Store(gen<<2 | dcasPreparing)
+	d.a.Store(a)
+	d.ea.Store(ea)
+	d.na.Store(na)
+	d.b.Store(b)
+	d.eb.Store(eb)
+	d.nb.Store(nb)
+	d.state.Store(gen<<2 | dcasUndecided)
+	return d, dcasHandle(slot, gen)
+}
+
+// installHandle claims nc for the descriptor by swapping its expected value
+// for the handle. It waits out foreign handles (their owners release in
+// bounded steps) and reports false once the cell's data value differs from
+// the expectation.
+func installHandle(nc *nativeCell, expected, h word.Word) bool {
+	for i := 0; ; i++ {
+		cur := nc.v.Load()
+		if cur&dcasMark != 0 {
+			spinPause(i)
+			continue
+		}
+		if cur != expected {
+			return false
+		}
+		if nc.v.CompareAndSwap(expected, h) {
+			return true
+		}
+	}
+}
+
+// resolve returns the current logical value of a cell whose raw word may
+// hold a descriptor handle. Readers never wait for the owner: an installed
+// handle is dereferenced to the expected (undecided/failed) or new
+// (succeeded) value for this cell.
+func (t *dcasTable) resolve(nc *nativeCell) word.Word {
+	for i := 0; ; i++ {
+		raw := nc.v.Load()
+		if raw&dcasMark == 0 {
+			return raw
+		}
+		if v, ok := t.readThrough(nc, raw); ok {
+			return v
+		}
+		// Stale handle: the operation finished between our cell read and the
+		// descriptor read, so the next cell read sees the released value.
+		spinPause(i)
+	}
+}
+
+// readThrough computes the logical value behind handle h installed in nc.
+// It fails (second result false) when the descriptor has already moved on
+// to a later generation, in which case the cell itself no longer holds h.
+func (t *dcasTable) readThrough(nc *nativeCell, h word.Word) (word.Word, bool) {
+	d := t.descs[dcasSlotOf(h)].Load()
+	if d == nil {
+		return 0, false
+	}
+	gen := dcasGenOf(h)
+	if d.state.Load()>>2 != gen {
+		return 0, false
+	}
+	// The generation matched, so the fields below belong to h's operation —
+	// unless the owner starts its next operation mid-snapshot, which the
+	// second state load detects (the owner re-enters dcasPreparing under a
+	// new generation before rewriting any field).
+	a, b := d.a.Load(), d.b.Load()
+	ea, na := d.ea.Load(), d.na.Load()
+	eb, nb := d.eb.Load(), d.nb.Load()
+	st := d.state.Load()
+	if st>>2 != gen {
+		return 0, false
+	}
+	status := word.Word(st) & 3
+	if status == dcasPreparing {
+		// Unreachable for a handle-bearing generation (handles are installed
+		// only after the undecided publish); retry defensively.
+		return 0, false
+	}
+	switch nc {
+	case a:
+		if status == dcasSucceeded {
+			return na, true
+		}
+		return ea, true
+	case b:
+		if status == dcasSucceeded {
+			return nb, true
+		}
+		return eb, true
+	}
+	return 0, false
+}

@@ -1,0 +1,274 @@
+package memory
+
+import (
+	"sync"
+	"testing"
+
+	"rme/internal/word"
+)
+
+func newDCASMem(t testing.TB, w word.Width) *NativeMem {
+	t.Helper()
+	m, err := NewNativeMem(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableDCAS(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDCASBasic(t *testing.T) {
+	m := newDCASMem(t, 16)
+	a := m.NewCell("a", Shared, 1)
+	b := m.NewCell("b", Shared, 2)
+	env := m.Env(0).(DoubleEnv)
+	rd := m.Env(0)
+
+	if !env.DCAS(a, 1, 10, b, 2, 20) {
+		t.Fatal("matching DCAS failed")
+	}
+	if got, got2 := rd.Read(a), rd.Read(b); got != 10 || got2 != 20 {
+		t.Fatalf("after DCAS: a=%d b=%d, want 10, 20", got, got2)
+	}
+	if env.DCAS(a, 10, 11, b, 99, 21) {
+		t.Fatal("DCAS with wrong second expectation succeeded")
+	}
+	if got, got2 := rd.Read(a), rd.Read(b); got != 10 || got2 != 20 {
+		t.Fatalf("failed DCAS mutated cells: a=%d b=%d", got, got2)
+	}
+	if env.DCAS(a, 99, 11, b, 20, 21) {
+		t.Fatal("DCAS with wrong first expectation succeeded")
+	}
+	// Argument order must not matter for the outcome, only CellID claiming
+	// order is internal.
+	if !env.DCAS(b, 20, 2, a, 10, 1) {
+		t.Fatal("reversed-argument DCAS failed")
+	}
+	if got, got2 := rd.Read(a), rd.Read(b); got != 1 || got2 != 2 {
+		t.Fatalf("after reversed DCAS: a=%d b=%d, want 1, 2", got, got2)
+	}
+}
+
+func TestDCASTruncatesToWidth(t *testing.T) {
+	m := newDCASMem(t, 8)
+	a := m.NewCell("a", Shared, 0)
+	b := m.NewCell("b", Shared, 0)
+	env := m.Env(0).(DoubleEnv)
+	// 0x100 truncates to 0, 0x1ff to 0xff: the swap must match and store
+	// within the 8-bit domain.
+	if !env.DCAS(a, 0x100, 0x1ff, b, 0, 1) {
+		t.Fatal("truncated expectation did not match")
+	}
+	if got := m.Env(0).Read(a); got != 0xff {
+		t.Fatalf("a = %#x, want 0xff", got)
+	}
+}
+
+func TestDCASRejectsWidth64(t *testing.T) {
+	m, err := NewNativeMem(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableDCAS(); err == nil {
+		t.Fatal("EnableDCAS at width 64 must fail: no bit left for the mark")
+	}
+	if m.DCASEnabled() {
+		t.Fatal("failed EnableDCAS left DCAS mode on")
+	}
+	if _, err := NewNativeMem(63); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCASPanicsWithoutEnable(t *testing.T) {
+	m, err := NewNativeMem(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.NewCell("a", Shared, 0)
+	b := m.NewCell("b", Shared, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DCAS without EnableDCAS must panic")
+		}
+	}()
+	m.Env(0).(DoubleEnv).DCAS(a, 0, 1, b, 0, 1)
+}
+
+func TestDCASPanicsOnSameCell(t *testing.T) {
+	m := newDCASMem(t, 32)
+	a := m.NewCell("a", Shared, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DCAS on one cell twice must panic")
+		}
+	}()
+	m.Env(0).(DoubleEnv).DCAS(a, 0, 1, a, 0, 1)
+}
+
+// TestDCASLockstep drives concurrent DCAS owners over the same pair: each
+// success advances both counters together, so the cells can never drift
+// apart and the final value equals the global success count.
+func TestDCASLockstep(t *testing.T) {
+	m := newDCASMem(t, 32)
+	a := m.NewCell("a", Shared, 0)
+	b := m.NewCell("b", Shared, 0)
+	const (
+		workers   = 4
+		perWorker = 300
+	)
+	var wg sync.WaitGroup
+	wins := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			env := m.Env(i)
+			denv := env.(DoubleEnv)
+			for w := 0; w < perWorker; {
+				v := env.Read(a)
+				if denv.DCAS(a, v, v+1, b, v, v+1) {
+					w++
+					wins[i]++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := word.Word(0)
+	for _, w := range wins {
+		total += word.Word(w)
+	}
+	if want := word.Word(workers * perWorker); total != want {
+		t.Fatalf("successes = %d, want %d", total, want)
+	}
+	rd := m.Env(0)
+	if ga, gb := rd.Read(a), rd.Read(b); ga != total || gb != total {
+		t.Fatalf("cells drifted: a=%d b=%d, want both %d", ga, gb, total)
+	}
+}
+
+// TestDCASAgainstSingleCellOps mixes DCAS with plain CAS/Add/Write on the
+// same cells: a gate cell toggled by a single-cell mutator arbitrates which
+// DCAS attempts may succeed, and a tally cell counts exactly the successes.
+func TestDCASAgainstSingleCellOps(t *testing.T) {
+	m := newDCASMem(t, 20)
+	gate := m.NewCell("gate", Shared, 0)
+	tally := m.NewCell("tally", Shared, 0)
+	noise := m.NewCell("noise", Shared, 0)
+	const (
+		workers  = 3
+		attempts = 500
+	)
+	stop := make(chan struct{})
+	var togglerWG sync.WaitGroup
+	togglerWG.Add(1)
+	go func() {
+		// Toggle the gate between 0 and 1 with single-cell ops, and keep
+		// unrelated traffic on a third cell so unmarked fast paths stay hot.
+		defer togglerWG.Done()
+		env := m.Env(workers)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			env.CAS(gate, word.Word(i%2), word.Word((i+1)%2))
+			env.Add(noise, 3)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var succ [workers]int
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			env := m.Env(i)
+			denv := env.(DoubleEnv)
+			for a := 0; a < attempts; a++ {
+				g := env.Read(gate)
+				cur := env.Read(tally)
+				if denv.DCAS(gate, g, g, tally, cur, cur+1) {
+					succ[i]++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	togglerWG.Wait()
+
+	total := 0
+	for _, s := range succ {
+		total += s
+	}
+	if got := m.Env(0).Read(tally); got != word.Word(total) {
+		t.Fatalf("tally = %d, but %d DCAS attempts reported success", got, total)
+	}
+}
+
+// TestDCASGenerationReuse reuses one environment's descriptor slot across
+// many sequential operations while a reader spins through any installed
+// handles; stale generations must never resolve to garbage.
+func TestDCASGenerationReuse(t *testing.T) {
+	m := newDCASMem(t, 16)
+	a := m.NewCell("a", Shared, 0)
+	b := m.NewCell("b", Shared, 0)
+	const rounds = 2000
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		env := m.Env(1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			va, vb := env.Read(a), env.Read(b)
+			if va&dcasMark != 0 || vb&dcasMark != 0 {
+				t.Errorf("reader saw a raw handle: a=%#x b=%#x", va, vb)
+				return
+			}
+		}
+	}()
+	env := m.Env(0)
+	denv := env.(DoubleEnv)
+	for i := word.Word(0); i < rounds; i++ {
+		if !denv.DCAS(a, i, i+1, b, i, i+1) {
+			t.Fatalf("round %d: sequential DCAS failed", i)
+		}
+	}
+	close(stop)
+	readerWG.Wait()
+	if ga, gb := env.Read(a), env.Read(b); ga != rounds || gb != rounds {
+		t.Fatalf("a=%d b=%d, want both %d", ga, gb, rounds)
+	}
+}
+
+// TestDCASSpinUntilReadsThrough checks that a waiter spinning on a cell
+// observes a value committed by DCAS (via read-through or after release).
+func TestDCASSpinUntilReadsThrough(t *testing.T) {
+	m := newDCASMem(t, 16)
+	a := m.NewCell("a", Shared, 0)
+	b := m.NewCell("b", Shared, 0)
+	done := make(chan word.Word, 1)
+	go func() {
+		env := m.Env(1)
+		done <- env.SpinUntil(b, func(v word.Word) bool { return v == 7 })
+	}()
+	env := m.Env(0).(DoubleEnv)
+	for !env.DCAS(a, 0, 1, b, 0, 7) {
+	}
+	if got := <-done; got != 7 {
+		t.Fatalf("SpinUntil through DCAS = %d, want 7", got)
+	}
+}

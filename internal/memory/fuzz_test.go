@@ -94,3 +94,111 @@ func FuzzCustomTruncation(f *testing.F) {
 		}
 	})
 }
+
+// FuzzNativeEnvDifferential interprets the fuzz input as an operation
+// script against a real nativeEnv — Read/Write/Swap/Add/CAS through
+// sync/atomic, Apply(OpCustom) through the CAS shim, DCAS through the
+// descriptor shim — and cross-checks every return value and every
+// resulting cell state against big.Int arithmetic mod 2^w. This is the
+// bridge proof that the hardware backend implements the same w-bit word
+// model the simulator does, at every width from 1 to 64 bits.
+func FuzzNativeEnvDifferential(f *testing.F) {
+	f.Add(uint8(8), []byte{0, 0, 0, 0, 3, 0, 255, 1, 4, 0, 255, 1})
+	f.Add(uint8(64), []byte{1, 1, 7, 7, 5, 1, 3, 0, 2, 2, 9, 9})
+	f.Add(uint8(63), []byte{6, 0, 1, 1, 6, 1, 0, 0, 0, 2, 0, 0})
+	f.Add(uint8(12), []byte{5, 0, 200, 0, 6, 2, 2, 2, 4, 1, 0, 0, 3, 1, 1, 0})
+	f.Fuzz(func(t *testing.T, wRaw uint8, script []byte) {
+		w := word.Width(wRaw%64 + 1)
+		m, err := NewNativeMem(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const nCells = 3
+		var cells [nCells]Cell
+		var model [nCells]word.Word
+		for i := range cells {
+			cells[i] = m.NewCell("f", Shared, 0)
+		}
+		env := m.Env(0)
+		dcasOK := w < word.MaxBits
+		if dcasOK {
+			if err := m.EnableDCAS(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mod := new(big.Int).Lsh(big.NewInt(1), uint(w))
+		for step := 0; len(script) >= 4; step++ {
+			code, ci, a1, a2 := script[0], script[1], script[2], script[3]
+			script = script[4:]
+			i := int(ci) % nCells
+			c := cells[i]
+			// Spread the two argument bytes across the word so wide widths
+			// see high bits too.
+			arg := word.Word(a1)<<56 | word.Word(a2)<<31 | word.Word(a1)<<8 | word.Word(a2)
+			arg2 := word.Word(a2)<<56 | word.Word(a1)<<31 | word.Word(a2)<<8 | word.Word(a1)
+			check := func(what string, got, want word.Word) {
+				t.Helper()
+				if got != want {
+					t.Fatalf("step %d %s on cell %d (w=%d): got %#x, want %#x", step, what, i, w, got, want)
+				}
+			}
+			switch code % 7 {
+			case 0:
+				check("Read", env.Read(c), model[i])
+			case 1:
+				env.Write(c, arg)
+				model[i], _ = refApply(Write(arg), model[i], w)
+			case 2:
+				ret := env.Swap(c, arg)
+				var want word.Word
+				model[i], want = refApply(Swap(arg), model[i], w)
+				check("Swap return", ret, want)
+			case 3:
+				ret := env.Add(c, arg)
+				var want word.Word
+				model[i], want = refApply(Add(arg), model[i], w)
+				check("Add return", ret, want)
+			case 4:
+				ret := env.CAS(c, arg, arg2)
+				var want word.Word
+				model[i], want = refApply(CAS(arg, arg2), model[i], w)
+				check("CAS return", ret, want)
+			case 5:
+				op := Custom("affine", func(v word.Word) (word.Word, word.Word) {
+					return v*3 + arg, v
+				})
+				ret := env.Apply(c, op)
+				check("Custom return", ret, model[i])
+				next := new(big.Int).SetUint64(model[i])
+				next.Mul(next, big.NewInt(3))
+				next.Add(next, new(big.Int).SetUint64(arg))
+				model[i] = next.Mod(next, mod).Uint64()
+			case 6:
+				if !dcasOK {
+					check("Read", env.Read(c), model[i])
+					continue
+				}
+				j := (i + 1) % nCells
+				e1, e2 := arg, arg2
+				if a1&1 == 1 {
+					// Half the attempts are forced matches so both outcomes
+					// stay well represented.
+					e1, e2 = model[i], model[j]
+				}
+				ok := env.(DoubleEnv).DCAS(c, e1, arg2, cells[j], e2, arg)
+				wantOK := w.Trunc(e1) == model[i] && w.Trunc(e2) == model[j]
+				if ok != wantOK {
+					t.Fatalf("step %d DCAS(%d,%d) (w=%d): got %v, want %v", step, i, j, w, ok, wantOK)
+				}
+				if ok {
+					model[i], model[j] = w.Trunc(arg2), w.Trunc(arg)
+				}
+			}
+		}
+		for i, c := range cells {
+			if got := env.Read(c); got != model[i] {
+				t.Fatalf("final state of cell %d (w=%d): got %#x, model %#x", i, w, got, model[i])
+			}
+		}
+	})
+}

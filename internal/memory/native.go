@@ -5,19 +5,25 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rme/internal/word"
 )
 
 // NativeMem is the real-hardware runtime: cells are sync/atomic words, and
-// Env operations execute immediately on the calling goroutine. It exists so
-// the same algorithm sources that run under the simulator can be benchmarked
-// with testing.B for wall-clock throughput. RMRs are not (and cannot be)
-// observed here; crashes are not injectable.
+// Env operations execute immediately on the calling goroutine. The same
+// algorithm sources that run under the simulator run here for wall-clock
+// throughput and latency measurement (cmd/rmenative, BenchmarkNativeLock*).
+// RMRs are not (and cannot be) observed here — cache-line traffic is the
+// hardware's business — which is exactly what makes the correlation against
+// simulated CC-RMR counts (EXPERIMENTS.md E14) an experiment rather than a
+// tautology. Crashes are injectable only via the mutex.NativeLock adapter's
+// panic-based fault injector, not by the memory layer itself.
 type NativeMem struct {
 	width word.Width
-	mu    sync.Mutex // guards cells during allocation
+	mu    sync.Mutex // guards cells/slots during allocation
 	cells []*nativeCell
+	dcas  atomic.Pointer[dcasTable] // non-nil once EnableDCAS succeeds
 }
 
 var _ Allocator = (*NativeMem)(nil)
@@ -47,14 +53,26 @@ func (m *NativeMem) NewCell(label string, owner int, init word.Word) Cell {
 }
 
 // Env returns the native environment for process id.
-func (m *NativeMem) Env(id int) Env { return &nativeEnv{id: id, mem: m} }
+func (m *NativeMem) Env(id int) Env { return &nativeEnv{id: id, mem: m, dcasSlot: -1} }
 
+// nativeCell is one base object on the native runtime. The atomic word sits
+// first, followed by padding out to a full cache line: cells are allocated
+// individually, and without the padding Go's size classes pack several cells
+// into one 64-byte line, so contending processes spinning on *different*
+// cells ping-pong the same line (false sharing). The cold metadata rides in
+// the tail of the padded block.
 type nativeCell struct {
+	v     atomic.Uint64
+	_     [cacheLineSize - 8]byte // the hot word owns its cache line
 	id    int
 	owner int
 	label string
-	v     atomic.Uint64
 }
+
+// cacheLineSize is the coherence granularity assumed for padding. 64 bytes
+// covers x86-64 and most arm64 parts; oversizing merely wastes a few bytes
+// per cell.
+const cacheLineSize = 64
 
 var _ Cell = (*nativeCell)(nil)
 
@@ -62,9 +80,38 @@ func (c *nativeCell) CellID() int   { return c.id }
 func (c *nativeCell) Owner() int    { return c.owner }
 func (c *nativeCell) Label() string { return c.label }
 
+// Adaptive spin policy for SpinUntil/SpinUntilMulti: a short tight-poll
+// phase (the value usually flips within a handoff), then cooperative yields
+// (essential when goroutines outnumber GOMAXPROCS — a spinning waiter must
+// let its waker run), then exponentially growing sleeps capped low enough
+// that handoff latency stays in the tens of microseconds. Polling-based
+// waiting cannot lose wakeups, so sleeping is always safe.
+const (
+	spinActive   = 64  // tight polls before the first yield
+	spinYield    = 512 // polls (with Gosched) before sleeping
+	spinSleepMax = 32 * time.Microsecond
+)
+
+// spinPause waits appropriately for the i-th failed poll.
+func spinPause(i int) {
+	switch {
+	case i < spinActive:
+		// tight poll
+	case i < spinYield:
+		runtime.Gosched()
+	default:
+		d := time.Microsecond << uint((i-spinYield)/64)
+		if d > spinSleepMax {
+			d = spinSleepMax
+		}
+		time.Sleep(d)
+	}
+}
+
 type nativeEnv struct {
-	id  int
-	mem *NativeMem
+	id       int
+	mem      *NativeMem
+	dcasSlot int // lazily assigned descriptor slot; -1 until first DCAS
 }
 
 var _ Env = (*nativeEnv)(nil)
@@ -80,24 +127,62 @@ func (e *nativeEnv) cell(c Cell) *nativeCell {
 	return nc
 }
 
-func (e *nativeEnv) Read(c Cell) word.Word { return e.cell(c).v.Load() }
+// load reads the cell's current logical value, helping any in-flight DCAS to
+// completion first (see dcas.go). When DCAS was never enabled the mark check
+// is a single branch that can never fire on data (EnableDCAS requires
+// width <= 63, so data values have bit 63 clear; at width 64 the table is
+// nil and the raw value passes through).
+func (e *nativeEnv) load(nc *nativeCell) word.Word {
+	v := nc.v.Load()
+	if v&dcasMark != 0 {
+		if t := e.mem.dcas.Load(); t != nil {
+			return t.resolve(nc)
+		}
+	}
+	return v
+}
+
+func (e *nativeEnv) Read(c Cell) word.Word { return e.load(e.cell(c)) }
 
 func (e *nativeEnv) Write(c Cell, v word.Word) {
-	e.cell(c).v.Store(e.mem.width.Trunc(v))
+	nc := e.cell(c)
+	v = e.mem.width.Trunc(v)
+	if e.mem.dcas.Load() == nil {
+		nc.v.Store(v)
+		return
+	}
+	// DCAS mode: a blind store could clobber a descriptor mark; install the
+	// value over a resolved snapshot instead.
+	for {
+		cur := e.load(nc)
+		if nc.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 func (e *nativeEnv) Swap(c Cell, v word.Word) word.Word {
-	return e.cell(c).v.Swap(e.mem.width.Trunc(v))
+	nc := e.cell(c)
+	v = e.mem.width.Trunc(v)
+	if e.mem.dcas.Load() == nil {
+		return nc.v.Swap(v)
+	}
+	for {
+		cur := e.load(nc)
+		if nc.v.CompareAndSwap(cur, v) {
+			return cur
+		}
+	}
 }
 
 func (e *nativeEnv) Add(c Cell, d word.Word) word.Word {
 	nc := e.cell(c)
 	w := e.mem.width
-	if w == word.MaxBits {
+	if w == word.MaxBits && e.mem.dcas.Load() == nil {
 		return nc.v.Add(d) - d
 	}
 	for {
-		cur := nc.v.Load()
+		cur := e.load(nc)
 		if nc.v.CompareAndSwap(cur, w.Add(cur, d)) {
 			return cur
 		}
@@ -109,7 +194,7 @@ func (e *nativeEnv) CAS(c Cell, expected, replacement word.Word) word.Word {
 	w := e.mem.width
 	expected, replacement = w.Trunc(expected), w.Trunc(replacement)
 	for {
-		cur := nc.v.Load()
+		cur := e.load(nc)
 		if cur != expected {
 			return cur
 		}
@@ -119,6 +204,13 @@ func (e *nativeEnv) CAS(c Cell, expected, replacement word.Word) word.Word {
 	}
 }
 
+// Apply executes op in one linearizable step. Custom operations — the
+// paper's "arbitrary atomic operations", which no real ISA offers — run
+// through the CAS shim: read, compute the transition, install with
+// compare-and-swap, retry on interference. The shim is lock-free and makes
+// the whole qword algorithm (whose protocol lives entirely in custom ops)
+// runnable on real silicon; dcas.go extends the same descriptor idea to two
+// cells.
 func (e *nativeEnv) Apply(c Cell, op Op) word.Word {
 	switch op.Code {
 	case OpRead:
@@ -136,7 +228,7 @@ func (e *nativeEnv) Apply(c Cell, op Op) word.Word {
 		nc := e.cell(c)
 		w := e.mem.width
 		for {
-			cur := nc.v.Load()
+			cur := e.load(nc)
 			next, ret := Apply(op, cur, w)
 			if nc.v.CompareAndSwap(cur, next) {
 				return ret
@@ -150,13 +242,11 @@ func (e *nativeEnv) Apply(c Cell, op Op) word.Word {
 func (e *nativeEnv) SpinUntil(c Cell, pred func(word.Word) bool) word.Word {
 	nc := e.cell(c)
 	for i := 0; ; i++ {
-		v := nc.v.Load()
+		v := e.load(nc)
 		if pred(v) {
 			return v
 		}
-		if i%64 == 63 {
-			runtime.Gosched()
-		}
+		spinPause(i)
 	}
 }
 
@@ -168,13 +258,11 @@ func (e *nativeEnv) SpinUntilMulti(cells []Cell, pred func([]word.Word) bool) []
 	vals := make([]word.Word, len(cells))
 	for i := 0; ; i++ {
 		for j, nc := range ncs {
-			vals[j] = nc.v.Load()
+			vals[j] = e.load(nc)
 		}
 		if pred(vals) {
 			return vals
 		}
-		if i%64 == 63 {
-			runtime.Gosched()
-		}
+		spinPause(i)
 	}
 }

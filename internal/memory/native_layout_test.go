@@ -1,0 +1,44 @@
+package memory
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestNativeCellPadding pins the layout that defeats false sharing: the hot
+// atomic word sits at offset zero and the struct fills at least a cache
+// line, so separately allocated cells can never have their atomic words on
+// one coherence line (Go's allocator never splits an object across size
+// classes smaller than the object).
+func TestNativeCellPadding(t *testing.T) {
+	var c nativeCell
+	if off := unsafe.Offsetof(c.v); off != 0 {
+		t.Errorf("nativeCell.v at offset %d, want 0", off)
+	}
+	if sz := unsafe.Sizeof(c); sz < cacheLineSize {
+		t.Errorf("nativeCell is %d bytes, want >= %d (cache line)", sz, cacheLineSize)
+	}
+}
+
+// TestNativeCellsOnDistinctLines allocates a run of cells the way algorithms
+// do and verifies no two atomic words land within one cache line of each
+// other.
+func TestNativeCellsOnDistinctLines(t *testing.T) {
+	m, err := NewNativeMem(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	addrs := make([]uintptr, n)
+	for i := 0; i < n; i++ {
+		nc := m.NewCell("c", Shared, 0).(*nativeCell)
+		addrs[i] = uintptr(unsafe.Pointer(&nc.v))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if addrs[i]/cacheLineSize == addrs[j]/cacheLineSize {
+				t.Fatalf("cells %d and %d share a cache line (%#x, %#x)", i, j, addrs[i], addrs[j])
+			}
+		}
+	}
+}

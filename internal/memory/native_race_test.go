@@ -1,0 +1,186 @@
+package memory
+
+import (
+	"sync"
+	"testing"
+
+	"rme/internal/word"
+)
+
+// TestNativeSpinUntilMultiConcurrent has one waiter watch a vector of flag
+// cells while a writer per cell raises its flag after real scheduling
+// churn; the waiter must return exactly the raised values. Run under -race
+// this doubles as a data-race check on the multi-cell polling loop.
+func TestNativeSpinUntilMultiConcurrent(t *testing.T) {
+	m, err := NewNativeMem(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	cells := make([]Cell, n)
+	for i := range cells {
+		cells[i] = m.NewCell("flag", Shared, 0)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			env := m.Env(i)
+			// Churn before raising the flag so the waiter observes partial
+			// vectors along the way.
+			for j := 0; j < 100; j++ {
+				env.Add(cells[i], 0)
+			}
+			env.Write(cells[i], word.Word(i+1))
+		}()
+	}
+	env := m.Env(n)
+	vals := env.SpinUntilMulti(cells, func(vs []word.Word) bool {
+		for _, v := range vs {
+			if v == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	wg.Wait()
+	for i, v := range vals {
+		if v != word.Word(i+1) {
+			t.Errorf("vals[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+// TestNativeSpinUntilMultiSum exercises the predicate over aggregate state:
+// the waiter releases once the vector of per-process counters reaches a
+// target sum, while writers keep incrementing past it.
+func TestNativeSpinUntilMultiSum(t *testing.T) {
+	m, err := NewNativeMem(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		n      = 4
+		per    = 200
+		target = n * per / 2
+	)
+	cells := make([]Cell, n)
+	for i := range cells {
+		cells[i] = m.NewCell("ctr", Shared, 0)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			env := m.Env(i)
+			for j := 0; j < per; j++ {
+				env.Add(cells[i], 1)
+			}
+		}()
+	}
+	vals := m.Env(n).SpinUntilMulti(cells, func(vs []word.Word) bool {
+		var sum word.Word
+		for _, v := range vs {
+			sum += v
+		}
+		return sum >= target
+	})
+	wg.Wait()
+	var sum word.Word
+	for _, v := range vals {
+		sum += v
+	}
+	if sum < target {
+		t.Fatalf("released at sum %d, want >= %d", sum, target)
+	}
+}
+
+// TestNativeApplyCustomConcurrent hammers one cell with custom transitions
+// (incrementing the high half) racing plain fetch-and-adds (incrementing
+// the low half). The CAS shim must not lose either kind of update.
+func TestNativeApplyCustomConcurrent(t *testing.T) {
+	m, err := NewNativeMem(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.NewCell("packed", Shared, 0)
+	const (
+		workers = 4
+		per     = 500
+	)
+	incHigh := Custom("inc-high", func(v word.Word) (word.Word, word.Word) {
+		return v + 1<<32, v >> 32
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			env := m.Env(i)
+			for j := 0; j < per; j++ {
+				if i%2 == 0 {
+					env.Apply(c, incHigh)
+				} else {
+					env.Add(c, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v := m.Env(0).Read(c)
+	high, low := v>>32, v&0xffffffff
+	wantHigh := word.Word(workers / 2 * per)
+	wantLow := word.Word((workers - workers/2) * per)
+	if high != wantHigh || low != wantLow {
+		t.Fatalf("packed counters = (%d, %d), want (%d, %d)", high, low, wantHigh, wantLow)
+	}
+}
+
+// TestNativeApplyCustomReturnUnique uses a custom op as a ticket dispenser
+// under contention: every return value must be unique and the final value
+// must equal the number of draws (linearizability of the Apply shim).
+func TestNativeApplyCustomReturnUnique(t *testing.T) {
+	m, err := NewNativeMem(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.NewCell("ticket", Shared, 0)
+	draw := Custom("draw", func(v word.Word) (word.Word, word.Word) {
+		return v + 1, v
+	})
+	const (
+		workers = 4
+		per     = 400
+	)
+	got := make([][]word.Word, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			env := m.Env(i)
+			for j := 0; j < per; j++ {
+				got[i] = append(got[i], env.Apply(c, draw))
+			}
+		}()
+	}
+	wg.Wait()
+	seen := make(map[word.Word]bool, workers*per)
+	for _, tickets := range got {
+		for _, v := range tickets {
+			if seen[v] {
+				t.Fatalf("ticket %d issued twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if final := m.Env(0).Read(c); final != workers*per {
+		t.Fatalf("dispenser = %d, want %d", final, workers*per)
+	}
+}

@@ -83,6 +83,13 @@ type (
 	PassageStat = mutex.PassageStat
 	// RandomRunOptions tunes randomized runs.
 	RandomRunOptions = mutex.RandomRunOptions
+	// NativeLock runs an Algorithm on real sync/atomic memory.
+	NativeLock = mutex.NativeLock
+	// NativeHandle is one process's native lock interface: a sync.Locker
+	// with Recover and panic-based crash injection (CrashAfter/Super).
+	NativeHandle = mutex.NativeHandle
+	// RecoverStatus reports where Recover left a process.
+	RecoverStatus = mutex.RecoverStatus
 
 	// AdversaryConfig parameterizes the lower-bound adversary.
 	AdversaryConfig = adversary.Config
@@ -131,9 +138,32 @@ const (
 	DSM = sim.DSM
 )
 
+// Recover outcomes, re-exported for NativeHandle.Recover callers.
+const (
+	// RecoverAcquired means the crash left the process holding the lock.
+	RecoverAcquired = mutex.RecoverAcquired
+	// RecoverReleased means the interrupted super-passage completed.
+	RecoverReleased = mutex.RecoverReleased
+	// RecoverIdle means the crash left no visible effect; start over.
+	RecoverIdle = mutex.RecoverIdle
+)
+
 // NewSession builds a simulated machine running the configured algorithm,
 // with every process poised at its first entry step.
 func NewSession(cfg Config) (*Session, error) { return mutex.NewSession(cfg) }
+
+// NewNativeLock instantiates an algorithm on the native sync/atomic backend
+// for n processes at word width w (0 selects the full 64-bit word). Each
+// participating goroutine calls Bind(id) for a handle that is a sync.Locker
+// with Recover, crash injection (CrashAfter), and whole-super-passage
+// driving (Super).
+func NewNativeLock(alg Algorithm, n int, w Width) (*NativeLock, error) {
+	return mutex.NewNativeLock(alg, n, w)
+}
+
+// IsInjectedCrash reports whether a recovered panic value is a CrashAfter
+// crash, for callers driving Lock/Unlock/Recover manually.
+func IsInjectedCrash(r any) bool { return mutex.IsInjectedCrash(r) }
 
 // NewAdversary prepares the lower-bound adversary over a fresh session.
 func NewAdversary(cfg AdversaryConfig) (*Adversary, error) { return adversary.New(cfg) }
