@@ -353,7 +353,10 @@ func simCorrelate(alg mutex.Algorithm, n int, w word.Width, pt *pointRecord) err
 
 // mergeReport folds the native report into an existing JSON object file
 // (rmrbench's BENCH_results.json) under the "native" key, preserving all
-// other keys.
+// other keys. Points from an earlier run survive: the union is keyed by
+// (alg, procs), so a second -merge run over a different sweep extends the
+// series and only same-key points are replaced by the fresh measurement.
+// Scalar metadata (width, go_version, ...) reflects the latest run.
 func mergeReport(path string, rep nativeReport) error {
 	obj := map[string]any{}
 	if blob, err := os.ReadFile(path); err == nil {
@@ -363,12 +366,59 @@ func mergeReport(path string, rep nativeReport) error {
 	} else if !os.IsNotExist(err) {
 		return err
 	}
+	if prev, ok := obj["native"]; ok {
+		merged, err := unionPoints(prev, rep)
+		if err != nil {
+			return fmt.Errorf("merge: %s: %w", path, err)
+		}
+		rep = merged
+	}
 	obj["native"] = rep
 	blob, err := json.MarshalIndent(obj, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// unionPoints merges the fresh report over the decoded previous "native"
+// entry: previous points keep their order, same-(alg, procs) points are
+// replaced in place, and new points append in run order.
+func unionPoints(prev any, rep nativeReport) (nativeReport, error) {
+	blob, err := json.Marshal(prev)
+	if err != nil {
+		return rep, err
+	}
+	var old nativeReport
+	if err := json.Unmarshal(blob, &old); err != nil {
+		return rep, fmt.Errorf("existing \"native\" entry is not a native report: %w", err)
+	}
+	type key struct {
+		alg   string
+		procs int
+	}
+	fresh := make(map[key]int, len(rep.Points))
+	for i, pt := range rep.Points {
+		fresh[key{pt.Alg, pt.Procs}] = i
+	}
+	points := make([]pointRecord, 0, len(old.Points)+len(rep.Points))
+	used := make(map[key]bool, len(rep.Points))
+	for _, pt := range old.Points {
+		k := key{pt.Alg, pt.Procs}
+		if i, ok := fresh[k]; ok {
+			points = append(points, rep.Points[i])
+			used[k] = true
+			continue
+		}
+		points = append(points, pt)
+	}
+	for _, pt := range rep.Points {
+		if !used[key{pt.Alg, pt.Procs}] {
+			points = append(points, pt)
+		}
+	}
+	rep.Points = points
+	return rep, nil
 }
 
 func parseAlgs(list string) ([]mutex.Algorithm, error) {

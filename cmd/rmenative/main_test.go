@@ -82,6 +82,94 @@ func TestRunMergesIntoExistingReport(t *testing.T) {
 	}
 }
 
+// TestMergeUnionsSeries is the regression test for the series-clobber bug:
+// a second -merge run with different (alg, procs) points must extend the
+// native series, not replace it; only same-key points are overwritten.
+func TestMergeUnionsSeries(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_results.json")
+	if err := os.WriteFile(path, []byte(`{"full": true}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pt := func(alg string, procs int, thpt float64) pointRecord {
+		return pointRecord{Alg: alg, Procs: procs, GOMAXPROCS: procs, Passes: 10, ThroughputPerSec: thpt}
+	}
+	// Run 1: mcs at n=1,2.
+	if err := mergeReport(path, nativeReport{
+		Width:  8,
+		Points: []pointRecord{pt("mcs", 1, 100), pt("mcs", 2, 200)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Run 2: ticket at n=1 (new series) plus a re-measured mcs n=2.
+	if err := mergeReport(path, nativeReport{
+		Width:  8,
+		Points: []pointRecord{pt("ticket", 1, 300), pt("mcs", 2, 250)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obj struct {
+		Full   bool         `json:"full"`
+		Native nativeReport `json:"native"`
+	}
+	if err := json.Unmarshal(blob, &obj); err != nil {
+		t.Fatal(err)
+	}
+	if !obj.Full {
+		t.Error("merge dropped existing keys")
+	}
+	got := obj.Native.Points
+	if len(got) != 3 {
+		t.Fatalf("points after two merges = %d, want 3 (union, not replace): %+v", len(got), got)
+	}
+	want := []struct {
+		alg   string
+		procs int
+		thpt  float64
+	}{{"mcs", 1, 100}, {"mcs", 2, 250}, {"ticket", 1, 300}}
+	for i, w := range want {
+		if got[i].Alg != w.alg || got[i].Procs != w.procs || got[i].ThroughputPerSec != w.thpt {
+			t.Errorf("point %d = %s/n%d thpt %v; want %s/n%d thpt %v",
+				i, got[i].Alg, got[i].Procs, got[i].ThroughputPerSec, w.alg, w.procs, w.thpt)
+		}
+	}
+}
+
+// TestMergeErrorPaths locks in the failure modes: a non-object file and a
+// corrupt "native" entry must both error out instead of silently clobbering
+// the file.
+func TestMergeErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+
+	notObject := filepath.Join(dir, "array.json")
+	if err := os.WriteFile(notObject, []byte(`[1, 2, 3]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeReport(notObject, nativeReport{}); err == nil {
+		t.Error("non-object file: want error")
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte(`{"native": "not a report"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeReport(corrupt, nativeReport{}); err == nil {
+		t.Error("corrupt native entry: want error")
+	}
+	// The corrupt file must be left untouched by the failed merge.
+	blob, err := os.ReadFile(corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != `{"native": "not a report"}` {
+		t.Errorf("failed merge rewrote the file: %s", blob)
+	}
+}
+
 func TestRunCrashInjectionSweep(t *testing.T) {
 	// Crash-mode benchmarking on a recoverable algorithm must complete and
 	// record crashes.

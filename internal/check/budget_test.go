@@ -1,0 +1,126 @@
+package check_test
+
+import (
+	"reflect"
+	"testing"
+
+	"rme/internal/algorithms/rspin"
+	"rme/internal/check"
+	"rme/internal/mutex"
+	"rme/internal/sim"
+	"rme/internal/telemetry"
+)
+
+// rspin at n=2 with one crash per process has a heavily skewed root-branch
+// tree: the step branches hold most of the state space while the crash
+// branches are comparatively small. Under the old even budget slices the hot
+// branch truncated at 1/len(branches) of the cap while the global budget
+// went largely unspent; redistribution must recover the full exploration
+// whenever the global caps cover the whole tree.
+func skewedSession(t *testing.T) mutex.Config {
+	t.Helper()
+	return mutex.Config{Procs: 2, Width: 8, Model: sim.CC, Algorithm: rspin.New()}
+}
+
+// TestBudgetRedistributionSkewedTree is the regression test for the
+// even-slice starvation bug: with MaxSchedules/MaxStates set to exactly the
+// tree's full size — so the global budget is sufficient but any even split
+// is not — the search must still complete untruncated.
+func TestBudgetRedistributionSkewedTree(t *testing.T) {
+	full, err := check.Exhaustive(check.Config{
+		Session:        skewedSession(t),
+		CrashesPerProc: 1,
+		Memo:           true,
+		MaxSchedules:   1_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated {
+		t.Fatalf("reference run truncated at generous caps (complete=%d states=%d)",
+			full.Complete, full.StatesVisited)
+	}
+	if err := full.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.New()
+	got, err := check.Exhaustive(check.Config{
+		Session:        skewedSession(t),
+		CrashesPerProc: 1,
+		Memo:           true,
+		MaxSchedules:   full.Complete,
+		MaxStates:      full.StatesVisited,
+		Telemetry:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Truncated {
+		t.Errorf("truncated with the global budget exactly covering the tree (complete=%d/%d states=%d/%d)",
+			got.Complete, full.Complete, got.StatesVisited, full.StatesVisited)
+	}
+	if got.Complete != full.Complete {
+		t.Errorf("complete = %d; want %d", got.Complete, full.Complete)
+	}
+
+	// The redistribution actually ran (the tree is skewed, so round one's
+	// even slices cannot cover it) and the budget gauges grew past the slice.
+	flat := reg.Snapshot().Flat()
+	if flat["check_budget_rounds"] == 0 {
+		t.Error("no redistribution rounds recorded; the tree is not exercising the bug")
+	}
+	branches := flat["check_branches"]
+	slice := (int64(full.Complete) + branches - 1) / branches
+	if got := flat["check_branch_schedule_budget"]; got <= slice {
+		t.Errorf("check_branch_schedule_budget = %d; want > initial slice %d", got, slice)
+	}
+}
+
+// TestBudgetRedistributionParallelParity locks the determinism contract:
+// redistribution rounds are computed from merged sub-results, so the full
+// Result must stay byte-identical at any Parallel value.
+func TestBudgetRedistributionParallelParity(t *testing.T) {
+	run := func(parallel int) *check.Result {
+		t.Helper()
+		res, err := check.Exhaustive(check.Config{
+			Session:        skewedSession(t),
+			CrashesPerProc: 1,
+			Memo:           true,
+			MaxSchedules:   176, // the full tree's size: tight enough to force redistribution
+			MaxStates:      7112,
+			Parallel:       parallel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := run(1)
+	four := run(4)
+	if !reflect.DeepEqual(one, four) {
+		t.Fatalf("results differ between Parallel=1 and 4:\n%+v\nvs\n%+v", one, four)
+	}
+}
+
+// TestBudgetRedistributionRespectsGlobalCap checks the other side: when the
+// global budget genuinely cannot cover the tree, the search still truncates
+// and never exceeds the configured caps by more than one in-flight branch
+// round.
+func TestBudgetRedistributionRespectsGlobalCap(t *testing.T) {
+	res, err := check.Exhaustive(check.Config{
+		Session:        skewedSession(t),
+		CrashesPerProc: 1,
+		Memo:           true,
+		MaxSchedules:   40, // well under the tree's 176 terminal states
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Error("undersized budget must still report truncation")
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

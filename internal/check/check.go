@@ -218,35 +218,126 @@ func Exhaustive(cfg Config) (*Result, error) {
 	subs := make([]*Result, len(branches))
 	scheduleSlice := ceilDiv(cfg.MaxSchedules, len(branches))
 	stateSlice := ceilDiv(cfg.MaxStates, len(branches))
+	schedBudget := make([]int, len(branches))
+	stateBudget := make([]int, len(branches))
+	for i := range branches {
+		schedBudget[i] = scheduleSlice
+		stateBudget[i] = stateSlice
+	}
 
 	// Budget gauges let a heartbeat render progress against the caps; the
 	// branches_done counter tracks root-branch fan-out completion. All
 	// nil-safe no-ops without a registry.
 	cfg.Telemetry.Gauge("check_branches").Set(int64(len(branches)))
 	cfg.Telemetry.Gauge("check_max_schedules").Set(int64(cfg.MaxSchedules))
-	cfg.Telemetry.Gauge("check_branch_schedule_budget").Set(int64(scheduleSlice))
+	schedGauge := cfg.Telemetry.Gauge("check_branch_schedule_budget")
+	stateGauge := cfg.Telemetry.Gauge("check_branch_state_budget")
+	schedGauge.Set(int64(scheduleSlice))
 	if cfg.Memo {
 		cfg.Telemetry.Gauge("check_max_states").Set(int64(cfg.MaxStates))
-		cfg.Telemetry.Gauge("check_branch_state_budget").Set(int64(stateSlice))
+		stateGauge.Set(int64(stateSlice))
 	}
 	branchesDone := cfg.Telemetry.Counter("check_branches_done")
+	budgetRounds := cfg.Telemetry.Counter("check_budget_rounds")
 
-	err = engine.ForEach(len(branches), cfg.Parallel, func(i int) error {
-		e := newExplorer(cfg, scheduleSlice, stateSlice)
-		defer e.close()
-		sub, err := e.run(branches[i], sleeps[i])
-		subs[i] = sub
-		branchesDone.Inc()
-		return err
-	})
-	if err != nil {
+	runBranches := func(idx []int, countDone bool) error {
+		return engine.ForEach(len(idx), cfg.Parallel, func(k int) error {
+			i := idx[k]
+			e := newExplorer(cfg, schedBudget[i], stateBudget[i])
+			defer e.close()
+			sub, err := e.run(branches[i], sleeps[i])
+			subs[i] = sub
+			if countDone {
+				branchesDone.Inc()
+			}
+			return err
+		})
+	}
+
+	all := make([]int, len(branches))
+	for i := range all {
+		all[i] = i
+	}
+	if err := runBranches(all, true); err != nil {
 		return nil, err
 	}
+
+	// Even slices starve hot branches on skewed trees: the branch holding
+	// most of the schedule space truncates at its 1/len(branches) slice while
+	// siblings leave the global budget largely unspent. Redistribute the
+	// unspent budget to budget-capped branches in deterministic follow-up
+	// rounds (the redo set and the grown budgets are pure functions of the
+	// merged sub-results, so the final Result stays byte-identical at any
+	// Parallel). Depth-truncated branches are excluded: MaxDepth cuts are not
+	// a budget shortage and re-running them would change nothing.
+	for round := 0; round < maxBudgetRounds; round++ {
+		totalComplete, totalStates := 0, 0
+		for _, sub := range subs {
+			totalComplete += sub.Complete
+			totalStates += sub.StatesVisited
+		}
+		var capped []int
+		for i, sub := range subs {
+			if !sub.Truncated {
+				continue
+			}
+			if sub.Complete >= schedBudget[i] || (cfg.Memo && sub.StatesVisited >= stateBudget[i]) {
+				capped = append(capped, i)
+			}
+		}
+		if len(capped) == 0 {
+			break
+		}
+		extraSched := (cfg.MaxSchedules - totalComplete) / len(capped)
+		extraStates := 0
+		if cfg.Memo {
+			extraStates = (cfg.MaxStates - totalStates) / len(capped)
+		}
+		if extraSched < 0 {
+			extraSched = 0
+		}
+		if extraStates < 0 {
+			extraStates = 0
+		}
+		// Re-run only branches whose binding cap actually grows.
+		var redo []int
+		for _, i := range capped {
+			grows := subs[i].Complete >= schedBudget[i] && extraSched > 0
+			if cfg.Memo && subs[i].StatesVisited >= stateBudget[i] && extraStates > 0 {
+				grows = true
+			}
+			if grows {
+				redo = append(redo, i)
+			}
+		}
+		if len(redo) == 0 {
+			break
+		}
+		for _, i := range redo {
+			schedBudget[i] += extraSched
+			stateBudget[i] += extraStates
+		}
+		budgetRounds.Inc()
+		schedGauge.Set(int64(schedBudget[redo[0]]))
+		if cfg.Memo {
+			stateGauge.Set(int64(stateBudget[redo[0]]))
+		}
+		if err := runBranches(redo, false); err != nil {
+			return nil, err
+		}
+	}
+
 	for _, sub := range subs {
 		res.merge(sub)
 	}
 	return res, nil
 }
+
+// maxBudgetRounds bounds the redistribution loop. Unspent budget shrinks
+// every round (a still-capped branch consumes exactly what it is given), so
+// the loop converges in two or three rounds in practice; the bound is a
+// backstop, not a tuning knob.
+const maxBudgetRounds = 8
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 

@@ -128,9 +128,55 @@ func Parallelism(p int) int {
 // workers, each owning at most one live machine; results land in their
 // submission slots, so the output order never depends on scheduling.
 // Individual failures are reported per-Result, not as a joint error.
+//
+// Run builds a transient Pool per call; batch-per-round callers (the
+// service layer submits one batch per simulated round) should hold a Pool
+// so worker sessions survive between batches.
 func Run(specs []RunSpec, opts Options) []Result {
+	pl := NewPool(opts.Parallel)
+	defer pl.Close()
+	return pl.Run(specs, opts)
+}
+
+// Pool is a persistent worker set. Where Run discards its workers — and
+// with them every cached session — when the batch ends, a Pool keeps them
+// across Run calls, so a caller submitting many same-shaped batches (the
+// lock-service layer runs one engine batch per arrival round) pays session
+// construction once per worker instead of once per batch. A Pool's Run has
+// the same determinism contract as the package-level Run. Pools are not
+// safe for concurrent Run calls.
+type Pool struct {
+	workers []*Worker
+}
+
+// NewPool builds a pool of Parallelism(parallel) workers. Close must be
+// called to release the cached sessions.
+func NewPool(parallel int) *Pool {
+	ws := make([]*Worker, Parallelism(parallel))
+	for i := range ws {
+		ws[i] = NewWorker()
+	}
+	return &Pool{workers: ws}
+}
+
+// Close releases every worker's cached session. The pool must not be used
+// afterwards.
+func (pl *Pool) Close() {
+	for _, w := range pl.workers {
+		w.Close()
+	}
+}
+
+// Run executes the batch on the pool's workers with the same semantics as
+// the package-level Run: min(len(pl.workers), Parallelism(opts.Parallel),
+// len(specs)) workers, submission-order results, per-Result failures.
+// Workers are (re-)instrumented from opts.Telemetry on every call.
+func (pl *Pool) Run(specs []RunSpec, opts Options) []Result {
 	res := make([]Result, len(specs))
 	par := Parallelism(opts.Parallel)
+	if par > len(pl.workers) {
+		par = len(pl.workers)
+	}
 	if par > len(specs) {
 		par = len(specs)
 	}
@@ -152,8 +198,7 @@ func Run(specs []RunSpec, opts Options) []Result {
 		}
 	}
 	if par <= 1 {
-		w := NewWorker()
-		defer w.Close()
+		w := pl.workers[0]
 		w.Instrument(opts.Telemetry)
 		for i := range specs {
 			if stopped.Load() {
@@ -167,12 +212,11 @@ func Run(specs []RunSpec, opts Options) []Result {
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for k := 0; k < par; k++ {
+		w := pl.workers[k]
+		w.Instrument(opts.Telemetry)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := NewWorker()
-			defer w.Close()
-			w.Instrument(opts.Telemetry)
 			for i := range jobs {
 				if stopped.Load() {
 					done(i, tm.skip(i))

@@ -85,6 +85,10 @@ type Session struct {
 	csOwner  int // process owning the CS (incl. crashed-in-CS holders), or -1
 	csOrder  []int
 	errs     []string
+	// poised is the retained scratch buffer for per-sweep poised snapshots in
+	// RunRoundRobin/RunRandom (sim.Machine.AppendPoised), so driving a session
+	// allocates nothing per scheduling round.
+	poised []int
 }
 
 // NewSession builds the machine, instantiates the algorithm, and starts the
@@ -294,7 +298,8 @@ var ErrStuck = errors.New("mutex: execution stuck (deadlock or lost wakeup)")
 // step per sweep) until every process finishes its super-passages.
 func (s *Session) RunRoundRobin() error {
 	for !s.mach.AllDone() {
-		poised := s.mach.PoisedProcs()
+		poised := s.mach.AppendPoised(s.poised)
+		s.poised = poised
 		if len(poised) == 0 {
 			return ErrStuck
 		}
@@ -325,7 +330,8 @@ type RandomRunOptions struct {
 func (s *Session) RunRandom(seed int64, opts RandomRunOptions) error {
 	rng := rand.New(rand.NewSource(seed))
 	for !s.mach.AllDone() {
-		poised := s.mach.PoisedProcs()
+		poised := s.mach.AppendPoised(s.poised)
+		s.poised = poised
 		if len(poised) == 0 {
 			return ErrStuck
 		}

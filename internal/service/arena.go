@@ -1,0 +1,80 @@
+package service
+
+// opNode is one queued lock request: which client asked, and the owning
+// shard's clock when it arrived (for latency accounting in machine steps).
+// Nodes live in a single slice arena and link through int32 indices, so a
+// deep backlog costs 16 bytes per request and zero per-request allocations
+// once the arena has grown to the high-water mark.
+type opNode struct {
+	client int32
+	next   int32
+	enq    int64
+}
+
+// nilNode is the arena's null index.
+const nilNode int32 = -1
+
+// opArena is a freelist-backed slab of opNodes.
+type opArena struct {
+	nodes []opNode
+	free  int32
+}
+
+func newOpArena() *opArena { return &opArena{free: nilNode} }
+
+// alloc returns the index of a fresh node.
+func (a *opArena) alloc(client int32, enq int64) int32 {
+	if a.free != nilNode {
+		n := a.free
+		a.free = a.nodes[n].next
+		a.nodes[n] = opNode{client: client, next: nilNode, enq: enq}
+		return n
+	}
+	a.nodes = append(a.nodes, opNode{client: client, next: nilNode, enq: enq})
+	return int32(len(a.nodes) - 1)
+}
+
+// release returns a node to the freelist.
+func (a *opArena) release(n int32) {
+	a.nodes[n].next = a.free
+	a.free = n
+}
+
+// shardState is the controller-side record of one lock shard: its FIFO
+// request queue (arena indices), its private machine-step clock, and its
+// accumulated results.
+type shardState struct {
+	head, tail int32
+	qlen       int
+
+	clock    int64 // machine steps executed by this shard's lock so far
+	passages int64
+	steps    int64
+	rmrCC    int64
+	rmrDSM   int64
+}
+
+// push appends a request to the shard's queue.
+func (s *shardState) push(a *opArena, n int32) {
+	if s.tail == nilNode {
+		s.head, s.tail = n, n
+	} else {
+		a.nodes[s.tail].next = n
+		s.tail = n
+	}
+	s.qlen++
+}
+
+// popInto removes up to cap(buf[:want]) requests in FIFO order into buf.
+func (s *shardState) popInto(a *opArena, buf []int32, want int) []int32 {
+	for len(buf) < want && s.head != nilNode {
+		n := s.head
+		s.head = a.nodes[n].next
+		if s.head == nilNode {
+			s.tail = nilNode
+		}
+		s.qlen--
+		buf = append(buf, n)
+	}
+	return buf
+}

@@ -1,0 +1,197 @@
+// Package service is the lock-service workload layer: M locks sharding a
+// keyspace, driven by a seeded arrival stream over millions of simulated
+// clients. Clients are lightweight records in arena storage — not
+// goroutines — multiplexed onto per-shard sim machines run through the
+// engine worker pool, so a laptop-scale box can push system-shaped traffic
+// (skewed, bursty, heavily multiplexed) through the paper's algorithms and
+// read back throughput, tail latency, fairness, and RMR cost.
+//
+// Everything downstream of the seed is deterministic: the arrival stream is
+// generated single-threaded, shard batches are submitted in shard order, and
+// the engine merges results in submission order, so a Report is
+// byte-identical at any parallelism level.
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// DistKind names an arrival distribution family.
+type DistKind int
+
+const (
+	// Uniform arrivals: every client equally likely.
+	Uniform DistKind = iota
+	// Zipf arrivals: client k with probability ∝ 1/(1+k)^theta, theta > 1.
+	// The regime where point contention, not n, governs cost.
+	Zipf
+	// Bursty on/off arrivals: only a contiguous fraction of the keyspace is
+	// active at a time; the active window is re-drawn every burstPeriod
+	// arrivals.
+	Bursty
+)
+
+// String returns the canonical spec string for the kind.
+func (k DistKind) String() string {
+	switch k {
+	case Zipf:
+		return "zipf"
+	case Bursty:
+		return "bursty"
+	default:
+		return "uniform"
+	}
+}
+
+// Dist is a parsed arrival-distribution spec.
+type Dist struct {
+	Kind DistKind
+	// Theta is the Zipf exponent (must be > 1; the stdlib generator's
+	// requirement).
+	Theta float64
+	// Frac is the bursty active fraction of the keyspace, in (0, 1].
+	Frac float64
+}
+
+// String renders the spec back in the form ParseDist accepts.
+func (d Dist) String() string {
+	switch d.Kind {
+	case Zipf:
+		return fmt.Sprintf("zipf:%g", d.Theta)
+	case Bursty:
+		return fmt.Sprintf("bursty:%g", d.Frac)
+	default:
+		return "uniform"
+	}
+}
+
+// ParseDist parses an arrival-distribution spec: "uniform", "zipf[:theta]"
+// (default theta 1.1), or "bursty[:frac]" (default active fraction 0.1).
+func ParseDist(s string) (Dist, error) {
+	name, arg, hasArg := strings.Cut(strings.TrimSpace(strings.ToLower(s)), ":")
+	switch name {
+	case "", "uniform":
+		if hasArg {
+			return Dist{}, fmt.Errorf("service: uniform takes no parameter (got %q)", s)
+		}
+		return Dist{Kind: Uniform}, nil
+	case "zipf":
+		d := Dist{Kind: Zipf, Theta: 1.1}
+		if hasArg {
+			v, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return Dist{}, fmt.Errorf("service: bad zipf theta %q", arg)
+			}
+			d.Theta = v
+		}
+		if d.Theta <= 1 {
+			return Dist{}, fmt.Errorf("service: zipf theta must be > 1 (got %g)", d.Theta)
+		}
+		return d, nil
+	case "bursty":
+		d := Dist{Kind: Bursty, Frac: 0.1}
+		if hasArg {
+			v, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return Dist{}, fmt.Errorf("service: bad bursty fraction %q", arg)
+			}
+			d.Frac = v
+		}
+		if d.Frac <= 0 || d.Frac > 1 {
+			return Dist{}, fmt.Errorf("service: bursty fraction must be in (0,1] (got %g)", d.Frac)
+		}
+		return d, nil
+	default:
+		return Dist{}, fmt.Errorf("service: unknown distribution %q (want uniform, zipf[:theta], bursty[:frac])", s)
+	}
+}
+
+// Stream generates an arrival sequence of client ids. Implementations are
+// seeded and single-threaded: the same seed yields the same stream.
+type Stream interface {
+	// Next returns the next arriving client id, in [0, clients).
+	Next() int
+}
+
+// burstPeriod is how many arrivals a bursty stream draws from one active
+// window before re-drawing it.
+const burstPeriod = 4096
+
+// NewStream builds the seeded generator for a spec over a keyspace of
+// clients ids.
+func NewStream(d Dist, clients int, seed int64) (Stream, error) {
+	if clients < 1 {
+		return nil, fmt.Errorf("service: need at least 1 client (got %d)", clients)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch d.Kind {
+	case Uniform:
+		return &uniformStream{rng: rng, n: clients}, nil
+	case Zipf:
+		if d.Theta <= 1 {
+			return nil, fmt.Errorf("service: zipf theta must be > 1 (got %g)", d.Theta)
+		}
+		z := rand.NewZipf(rng, d.Theta, 1, uint64(clients-1))
+		return &zipfStream{z: z}, nil
+	case Bursty:
+		if d.Frac <= 0 || d.Frac > 1 {
+			return nil, fmt.Errorf("service: bursty fraction must be in (0,1] (got %g)", d.Frac)
+		}
+		size := int(d.Frac * float64(clients))
+		if size < 1 {
+			size = 1
+		}
+		return &burstyStream{rng: rng, n: clients, size: size}, nil
+	default:
+		return nil, fmt.Errorf("service: unknown distribution kind %d", d.Kind)
+	}
+}
+
+type uniformStream struct {
+	rng *rand.Rand
+	n   int
+}
+
+func (s *uniformStream) Next() int { return s.rng.Intn(s.n) }
+
+type zipfStream struct {
+	z *rand.Zipf
+}
+
+func (s *zipfStream) Next() int { return int(s.z.Uint64()) }
+
+// burstyStream draws arrivals uniformly from a contiguous active window
+// (wrapping at the keyspace end) and re-draws the window every burstPeriod
+// arrivals — an on/off traffic model where the hot set itself moves.
+type burstyStream struct {
+	rng   *rand.Rand
+	n     int
+	size  int
+	start int
+	left  int
+}
+
+func (s *burstyStream) Next() int {
+	if s.left == 0 {
+		s.start = s.rng.Intn(s.n)
+		s.left = burstPeriod
+	}
+	s.left--
+	return (s.start + s.rng.Intn(s.size)) % s.n
+}
+
+// ShardOf maps a client id onto one of locks shards with a fixed
+// splitmix64-style mix, so neighbouring client ids spread across shards and
+// the mapping is stable across runs, seeds, and parallelism levels.
+func ShardOf(client, locks int) int {
+	x := uint64(client) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(locks))
+}

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"testing"
+)
+
+func drawN(t *testing.T, d Dist, clients int, seed int64, n int) []int {
+	t.Helper()
+	s, err := NewStream(d, clients, seed)
+	if err != nil {
+		t.Fatalf("NewStream(%v): %v", d, err)
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = s.Next()
+		if out[i] < 0 || out[i] >= clients {
+			t.Fatalf("draw %d out of range [0,%d): %d", i, clients, out[i])
+		}
+	}
+	return out
+}
+
+// TestStreamSeededDeterminism locks in the generator contract every
+// downstream byte-parity guarantee rests on: same seed ⇒ identical stream,
+// for every distribution family.
+func TestStreamSeededDeterminism(t *testing.T) {
+	dists := []Dist{
+		{Kind: Uniform},
+		{Kind: Zipf, Theta: 1.1},
+		{Kind: Zipf, Theta: 2.0},
+		{Kind: Bursty, Frac: 0.1},
+		{Kind: Bursty, Frac: 1.0},
+	}
+	for _, d := range dists {
+		t.Run(d.String(), func(t *testing.T) {
+			const clients, n = 5000, 20000
+			a := drawN(t, d, clients, 42, n)
+			b := drawN(t, d, clients, 42, n)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("same seed diverged at draw %d: %d vs %d", i, a[i], b[i])
+				}
+			}
+			c := drawN(t, d, clients, 43, n)
+			same := 0
+			for i := range a {
+				if a[i] == c[i] {
+					same++
+				}
+			}
+			if same == n {
+				t.Fatalf("seeds 42 and 43 produced identical %d-draw streams", n)
+			}
+		})
+	}
+}
+
+// TestZipfSkew sanity-checks the empirical shape: low ids must dominate far
+// beyond their uniform share, and heavier theta must concentrate harder.
+func TestZipfSkew(t *testing.T) {
+	const clients, n = 10000, 100000
+	headShare := func(theta float64) float64 {
+		draws := drawN(t, Dist{Kind: Zipf, Theta: theta}, clients, 7, n)
+		head := 0
+		for _, v := range draws {
+			if v < 10 {
+				head++
+			}
+		}
+		return float64(head) / n
+	}
+	light := headShare(1.1)
+	heavy := headShare(2.0)
+	// Uniform would put 10/10000 = 0.1% of mass on the head; even the
+	// lightest supported skew concentrates orders of magnitude more.
+	if light < 0.10 {
+		t.Fatalf("zipf(1.1) head share %.4f; want >= 0.10 (uniform would be 0.001)", light)
+	}
+	if heavy <= light {
+		t.Fatalf("zipf(2.0) head share %.4f not above zipf(1.1) %.4f", heavy, light)
+	}
+}
+
+// TestBurstyWindow checks the on/off shape: within one burst period all
+// draws fall in a window of the configured size.
+func TestBurstyWindow(t *testing.T) {
+	const clients = 100000
+	d := Dist{Kind: Bursty, Frac: 0.01}
+	draws := drawN(t, d, clients, 11, burstPeriod)
+	seen := map[int]bool{}
+	for _, v := range draws {
+		seen[v] = true
+	}
+	size := int(0.01 * clients)
+	if len(seen) > size {
+		t.Fatalf("one burst window touched %d distinct clients; active set is only %d", len(seen), size)
+	}
+}
+
+func TestParseDist(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Dist
+		ok   bool
+	}{
+		{"uniform", Dist{Kind: Uniform}, true},
+		{"", Dist{Kind: Uniform}, true},
+		{"zipf", Dist{Kind: Zipf, Theta: 1.1}, true},
+		{"zipf:1.5", Dist{Kind: Zipf, Theta: 1.5}, true},
+		{"ZIPF:2", Dist{Kind: Zipf, Theta: 2}, true},
+		{"bursty", Dist{Kind: Bursty, Frac: 0.1}, true},
+		{"bursty:0.25", Dist{Kind: Bursty, Frac: 0.25}, true},
+		{"zipf:1.0", Dist{}, false},
+		{"zipf:bad", Dist{}, false},
+		{"bursty:0", Dist{}, false},
+		{"bursty:1.5", Dist{}, false},
+		{"uniform:3", Dist{}, false},
+		{"pareto", Dist{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseDist(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseDist(%q) err=%v; want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseDist(%q) = %+v; want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestShardOf checks range and rough balance of the keyspace hash.
+func TestShardOf(t *testing.T) {
+	const locks, clients = 16, 100000
+	counts := make([]int, locks)
+	for c := 0; c < clients; c++ {
+		sh := ShardOf(c, locks)
+		if sh < 0 || sh >= locks {
+			t.Fatalf("ShardOf(%d, %d) = %d out of range", c, locks, sh)
+		}
+		counts[sh]++
+	}
+	want := clients / locks
+	for sh, n := range counts {
+		if n < want/2 || n > want*2 {
+			t.Fatalf("shard %d holds %d of %d clients; want near %d", sh, n, clients, want)
+		}
+	}
+	if ShardOf(12345, locks) != ShardOf(12345, locks) {
+		t.Fatal("ShardOf not stable")
+	}
+}

@@ -215,14 +215,7 @@ func (m *Machine) Start(programs []Program) error {
 // panics, because new cells would break that guarantee.
 func (m *Machine) Reset() {
 	if m.started && !m.closed {
-		for _, pr := range m.procs {
-			if pr.done {
-				continue
-			}
-			pr.resumeCh <- verdict{kill: true}
-			<-pr.doneCh
-			pr.done = true
-		}
+		m.killLive()
 	}
 	m.started = false
 	m.closed = false
@@ -241,16 +234,19 @@ func (m *Machine) Reset() {
 }
 
 // waitQuiescent blocks until p has announced its next step or finished.
+// Completion arrives as a fin message on the same channel as operation
+// announcements, so the wait is a plain receive — one channel operation on
+// the step gate instead of a two-way select (measured in EXPERIMENTS.md E15).
 // Multi-cell waits (SpinUntilMulti) are handled here: if the predicate
 // already holds the body resumes immediately (and we keep waiting for its
 // next announcement), otherwise the process parks watching all cells.
 func (m *Machine) waitQuiescent(p *Proc) error {
 	for {
-		select {
-		case req := <-p.pendingCh:
-			p.pending = &req
-		case <-p.doneCh:
+		req := <-p.pendingCh
+		if req.fin {
 			p.done = true
+		} else {
+			p.pending = &req
 		}
 		if p.err != nil {
 			return fmt.Errorf("sim: process %d failed: %w", p.id, p.err)
@@ -561,11 +557,24 @@ func (m *Machine) Close() {
 		return
 	}
 	m.closed = true
+	m.killLive()
+}
+
+// killLive terminates every live body goroutine. A live body is either
+// blocked on resumeCh awaiting a verdict, or (transiently) blocked sending
+// its fin announcement; the select covers both without deadlocking.
+func (m *Machine) killLive() {
 	for _, pr := range m.procs {
 		if pr.done {
 			continue
 		}
-		pr.resumeCh <- verdict{kill: true}
+		select {
+		case pr.resumeCh <- verdict{kill: true}:
+		case req := <-pr.pendingCh:
+			if !req.fin {
+				pr.resumeCh <- verdict{kill: true}
+			}
+		}
 		<-pr.doneCh
 		pr.done = true
 	}
@@ -599,13 +608,21 @@ func (m *Machine) Poised(p int) bool {
 
 // PoisedProcs returns the ids of all poised processes, ascending.
 func (m *Machine) PoisedProcs() []int {
-	var out []int
-	for i := range m.procs {
-		if m.Poised(i) {
-			out = append(out, i)
+	return m.AppendPoised(nil)
+}
+
+// AppendPoised appends the ids of all poised processes, ascending, to
+// buf[:0] and returns the extended slice. Drivers that sweep every scheduling
+// round (mutex.Session.RunRoundRobin, the service layer's shard batches) pass
+// a retained buffer so the per-sweep snapshot is allocation-free.
+func (m *Machine) AppendPoised(buf []int) []int {
+	buf = buf[:0]
+	for i, pr := range m.procs {
+		if !pr.done && pr.pending != nil && !pr.parked {
+			buf = append(buf, i)
 		}
 	}
-	return out
+	return buf
 }
 
 // Stuck reports a deadlock/livelock condition: no process is poised yet not

@@ -41,7 +41,8 @@ type Proc struct {
 
 var _ memory.Env = (*Proc)(nil)
 
-// stepReq is an announced shared-memory operation, or a multi-cell wait.
+// stepReq is an announced shared-memory operation, a multi-cell wait, or the
+// body's final "finished" announcement.
 type stepReq struct {
 	cell *simCell
 	op   memory.Op
@@ -51,6 +52,13 @@ type stepReq struct {
 	// until multiPred holds for the watched cells' values.
 	multi     []*simCell
 	multiPred func([]word.Word) bool
+
+	// fin marks the body's last message: the program returned (or failed with
+	// p.err set) and no further operations follow. Delivering completion on
+	// the announcement channel keeps the controller's quiescence wait a plain
+	// channel receive instead of a two-way select — the step gate is the
+	// simulator's hottest path (see EXPERIMENTS.md E15).
+	fin bool
 }
 
 // isWait reports whether the request is a multi-cell wait (not a step).
@@ -99,9 +107,12 @@ func (p *Proc) reset(program Program) {
 }
 
 // launch starts the body goroutine. The controller must waitQuiescent
-// immediately after, so bodies never run concurrently.
+// immediately after, so bodies never run concurrently. The done channel is
+// captured here: a finished body may still be between its fin announcement
+// and the deferred close when the controller already Resets and replaces
+// p.doneCh, and it must close the channel of its own launch, not the new one.
 func (p *Proc) launch() {
-	go p.runLoop()
+	go p.runLoop(p.doneCh)
 }
 
 type bodyOutcome int
@@ -113,12 +124,18 @@ const (
 )
 
 // runLoop runs the program, restarting with Recover after each crash step.
-func (p *Proc) runLoop() {
-	defer close(p.doneCh)
+// Normal completion (and body failure, with p.err set) is announced as a fin
+// message on the gate channel; a kill unwinds silently — the controller that
+// sent it waits on done instead.
+func (p *Proc) runLoop(done chan struct{}) {
+	defer close(done)
 	recovering := false
 	for {
 		switch p.runOnce(recovering) {
-		case outcomeFinished, outcomeKilled:
+		case outcomeFinished:
+			p.pendingCh <- stepReq{fin: true}
+			return
+		case outcomeKilled:
 			return
 		case outcomeCrashed:
 			recovering = true
