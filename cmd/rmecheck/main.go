@@ -6,7 +6,8 @@
 // Usage:
 //
 //	rmecheck [-alg watree] [-n 2] [-w 8] [-model cc] [-crashes 1] [-max 50000] [-stress 200] [-seed S] [-parallel N]
-//	         [-memo] [-por] [-snapshot K] [-maxstates N] [-json]
+//	         [-memo] [-por] [-symmetry] [-snapshot K] [-maxstates N] [-json]
+//	         [-sharedset] [-wave K] [-maxwaves K] [-membudget BYTES] [-spilldir DIR] [-resume]
 //	         [-trace FILE] [-traceformat jsonl|chrome] [-top N]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //	         [-heartbeat DUR] [-metrics FILE] [-debugaddr ADDR]
@@ -23,6 +24,16 @@
 // replay. Disable both (-memo=false -por=false) to enumerate raw schedules
 // like the reference explorer. -json emits one JSON report on stdout instead
 // of text; both are byte-identical at any -parallel value.
+//
+// Three scale-out reductions stack on top for large configurations:
+// -symmetry canonicalizes state keys over the algorithm's declared process
+// symmetry group (algorithms with no declaration are unaffected); -sharedset
+// shares visited sets across root branches in waves of -wave branches
+// (deterministic at any -parallel); -membudget/-spilldir bound resident
+// visited-set memory by spilling sealed waves to sorted run files, and with
+// -spilldir every wave is checkpointed so an interrupted run can continue
+// with -resume (the resumed Result is byte-identical to an uninterrupted
+// run). -maxwaves stops a run after K waves to stage long certifications.
 //
 // The checker itself runs trace-free (it replays millions of branches);
 // -trace exports the step-level story of the crash-free round-robin
@@ -71,7 +82,9 @@ type searchReport struct {
 	DepthTruncated int      `json:"depth_truncated"`
 	StatesVisited  int      `json:"states_visited"`
 	StatesPruned   int      `json:"states_pruned"`
+	SharedPruned   int      `json:"shared_pruned"`
 	SleepPruned    int      `json:"sleep_pruned"`
+	Waves          int      `json:"waves"`
 	MachineSteps   int64    `json:"machine_steps"`
 	ReplaySteps    int64    `json:"replay_steps"`
 	Violations     []string `json:"violations,omitempty"`
@@ -85,7 +98,9 @@ func toReport(res *check.Result) searchReport {
 		DepthTruncated: res.DepthTruncated,
 		StatesVisited:  res.StatesVisited,
 		StatesPruned:   res.StatesPruned,
+		SharedPruned:   res.SharedPruned,
 		SleepPruned:    res.SleepPruned,
+		Waves:          res.Waves,
 		MachineSteps:   res.MachineSteps,
 		ReplaySteps:    res.ReplaySteps,
 		Violations:     res.Violations,
@@ -102,6 +117,9 @@ type jsonReport struct {
 	Crashes    int           `json:"crashes"`
 	Memo       bool          `json:"memo"`
 	POR        bool          `json:"por"`
+	Symmetry   bool          `json:"symmetry"`
+	SharedSet  bool          `json:"sharedset"`
+	WaveSize   int           `json:"wave,omitempty"`
 	Exhaustive searchReport  `json:"exhaustive"`
 	Stress     *searchReport `json:"stress,omitempty"`
 	OK         bool          `json:"ok"`
@@ -120,8 +138,15 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 0, "offset for the stress schedule seeds (0 = the default sample)")
 	memo := fs.Bool("memo", true, "memoize visited canonical states (fingerprint pruning)")
 	por := fs.Bool("por", true, "sleep-set partial-order reduction over step footprints")
+	symmetry := fs.Bool("symmetry", false, "canonicalize state keys over the algorithm's declared process symmetry group")
 	snapshot := fs.Int("snapshot", check.DefaultSnapshotInterval, "checkpoint spacing for backtrack restores (negative = replay from the root)")
 	maxStates := fs.Int("maxstates", check.DefaultMaxStates, "visited-state cap for -memo")
+	sharedSet := fs.Bool("sharedset", false, "share visited sets across root branches in sealed waves (implies -memo)")
+	wave := fs.Int("wave", check.DefaultWaveSize, "root branches per wave for -sharedset")
+	maxWaves := fs.Int("maxwaves", 0, "stop the -sharedset search after this many waves (0 = run all; pairs with -spilldir/-resume)")
+	memBudget := fs.Int64("membudget", 0, "resident bytes allowed for sealed shared sets before spilling to disk (0 = unbounded)")
+	spillDir := fs.String("spilldir", "", "directory for spilled waves and the resume checkpoint")
+	resume := fs.Bool("resume", false, "continue a checkpointed -sharedset run from -spilldir")
 	jsonOut := fs.Bool("json", false, "emit one JSON report on stdout instead of text")
 	tracePath := fs.String("trace", "", "export a step-level trace of the crash-free reference run to this file")
 	traceFormat := fs.String("traceformat", "jsonl", "trace encoding: jsonl or chrome (Perfetto)")
@@ -140,7 +165,7 @@ func run(args []string) error {
 		return err
 	}
 	defer stopCPU()
-	stopTele, err := tele.Start("check", telemetryView(*memo))
+	stopTele, err := tele.Start("check", telemetryView(*memo || *sharedSet, *sharedSet))
 	if err != nil {
 		return err
 	}
@@ -169,8 +194,15 @@ func run(args []string) error {
 		Seed:             *seed,
 		Memo:             *memo,
 		POR:              *por,
+		Symmetry:         *symmetry,
 		SnapshotInterval: *snapshot,
 		MaxStates:        *maxStates,
+		SharedVisited:    *sharedSet,
+		WaveSize:         *wave,
+		MaxWaves:         *maxWaves,
+		MemBudget:        *memBudget,
+		SpillDir:         *spillDir,
+		Resume:           *resume,
 		Telemetry:        tele.Registry(),
 	}
 
@@ -181,7 +213,7 @@ func run(args []string) error {
 	}
 
 	if *jsonOut {
-		err := runJSON(cfg, alg.Name(), model, *crashes, *stress)
+		err := runJSON(cfg, alg.Name(), model, *crashes, *stress, *sharedSet, *wave)
 		// The heap profile is written even when the check failed: profiling a
 		// run that found a violation is still profiling.
 		if herr := cliutil.WriteHeapProfile(*memProfile); err == nil {
@@ -190,8 +222,8 @@ func run(args []string) error {
 		return err
 	}
 
-	fmt.Printf("exhaustive: %s n=%d w=%d model=%s crashes<=%d memo=%v por=%v\n",
-		alg.Name(), *n, *w, model, *crashes, *memo, *por)
+	fmt.Printf("exhaustive: %s n=%d w=%d model=%s crashes<=%d memo=%v por=%v symmetry=%v\n",
+		alg.Name(), *n, *w, model, *crashes, *memo, *por, *symmetry)
 	start := time.Now()
 	res, err := check.Exhaustive(cfg)
 	if err != nil {
@@ -199,9 +231,12 @@ func run(args []string) error {
 	}
 	fmt.Printf("  %d complete schedules (truncated: %v, depth-truncated prefixes: %d)\n",
 		res.Complete, res.Truncated, res.DepthTruncated)
-	if *memo {
+	if *memo || *sharedSet {
 		fmt.Printf("  states: %d visited, %d revisits pruned, %d sleep-set skips\n",
 			res.StatesVisited, res.StatesPruned, res.SleepPruned)
+	}
+	if *sharedSet {
+		fmt.Printf("  shared: %d waves, %d cross-branch prunes\n", res.Waves, res.SharedPruned)
 	}
 	fmt.Printf("  steps: %d machine, %d replay\n", res.MachineSteps, res.ReplaySteps)
 	// Timing goes to stderr: stdout is byte-identical at any -parallel value.
@@ -228,8 +263,10 @@ func run(args []string) error {
 // telemetryView is the checker's heartbeat layout: with memoization the
 // search progresses in visited states against the state budget; without it,
 // in complete schedules against the schedule cap. Either way the ratios
-// expose the prune and replay economics of the stateful explorer.
-func telemetryView(memo bool) telemetry.View {
+// expose the prune and replay economics of the stateful explorer. Shared-set
+// runs additionally surface wave progress and the cross-branch share of the
+// prune traffic, so a long spill-backed certification is watchable live.
+func telemetryView(memo, sharedSet bool) telemetry.View {
 	v := telemetry.View{
 		Progress: "check_schedules_complete",
 		Target:   "check_max_schedules",
@@ -249,19 +286,31 @@ func telemetryView(memo bool) telemetry.View {
 			Den:   []string{"check_states_visited", "check_states_pruned"},
 		}}, v.Ratios...)
 	}
+	if sharedSet {
+		v.Show = append(v.Show, "check_waves_done", "check_spill_bytes")
+		v.Ratios = append(v.Ratios, telemetry.Ratio{
+			Label: "shared_hit",
+			Num:   "check_shared_pruned",
+			Den:   []string{"check_states_pruned"},
+		})
+	}
 	return v
 }
 
 // runJSON runs the same phases as the text path but emits one JSON document.
-func runJSON(cfg check.Config, algName string, model sim.Model, crashes, stress int) error {
+func runJSON(cfg check.Config, algName string, model sim.Model, crashes, stress int, sharedSet bool, wave int) error {
 	res, err := check.Exhaustive(cfg)
 	if err != nil {
 		return err
 	}
 	doc := jsonReport{
 		Algorithm: algName, Procs: cfg.Session.Procs, Width: int(cfg.Session.Width),
-		Model: model.String(), Crashes: crashes, Memo: cfg.Memo, POR: cfg.POR,
+		Model: model.String(), Crashes: crashes, Memo: cfg.Memo || sharedSet, POR: cfg.POR,
+		Symmetry: cfg.Symmetry, SharedSet: sharedSet,
 		Exhaustive: toReport(res), OK: res.Ok(),
+	}
+	if sharedSet {
+		doc.WaveSize = wave
 	}
 	firstErr := res.Err()
 	if stress > 0 {

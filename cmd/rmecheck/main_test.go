@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -106,6 +107,67 @@ func TestJSONReportShape(t *testing.T) {
 	}
 	if doc.Stress != nil {
 		t.Fatal("stress report present despite -stress 0")
+	}
+}
+
+// TestJSONReportScaleOutShape covers the scale-out flags end to end: the
+// -json document must carry the new header fields and counters, and a
+// -resume of a finished checkpoint must reproduce the document byte for
+// byte without re-exploring.
+func TestJSONReportScaleOutShape(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-alg", "rspin", "-n", "2", "-crashes", "1", "-max", "20000", "-stress", "0",
+		"-symmetry", "-sharedset", "-wave", "1", "-spilldir", dir, "-membudget", "4096", "-json"}
+	out, err := captureStdout(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc jsonReport
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, out)
+	}
+	if !doc.Symmetry || !doc.SharedSet || doc.WaveSize != 1 || !doc.Memo {
+		t.Fatalf("scale-out header fields wrong: %+v", doc)
+	}
+	ex := doc.Exhaustive
+	if ex.Waves == 0 || ex.StatesVisited == 0 {
+		t.Fatalf("scale-out counters missing: %+v", ex)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatalf("no checkpoint manifest written: %v", err)
+	}
+	resumed, err := captureStdout(t, func() error { return run(append(args, "-resume")) })
+	if err != nil {
+		t.Fatalf("-resume: %v", err)
+	}
+	if resumed != out {
+		t.Fatalf("-resume of a finished checkpoint differs:\n--- original ---\n%s\n--- resumed ---\n%s", out, resumed)
+	}
+	raw := map[string]json.RawMessage{}
+	if err := json.Unmarshal([]byte(out), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"symmetry", "sharedset", "wave"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("-json document missing %q key:\n%s", key, out)
+		}
+	}
+}
+
+// TestTextOutputSurfacesScaleOutStats: -sharedset adds the wave/shared-prune
+// line to the text report and the header reflects -symmetry.
+func TestTextOutputSurfacesScaleOutStats(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-alg", "rspin", "-n", "2", "-crashes", "1", "-max", "20000", "-stress", "0",
+			"-symmetry", "-sharedset", "-wave", "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"symmetry=true", "shared: ", "waves", "states: ", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"rme/internal/memory"
 	"rme/internal/mutex"
+	"rme/internal/sim"
 	"rme/internal/word"
 )
 
@@ -65,7 +66,36 @@ type instance struct {
 	phase []memory.Cell
 }
 
-var _ mutex.Instance = (*instance)(nil)
+var (
+	_ mutex.Instance          = (*instance)(nil)
+	_ mutex.SymmetricInstance = (*instance)(nil)
+)
+
+// symmetryMaxProcs caps the declared group: S_n declarations are only built
+// where the checker can use them (n! group elements are enumerated per state
+// key). Larger instances simply declare nothing.
+const symmetryMaxProcs = 6
+
+// Symmetry declares full S_n equivariance: the algorithm treats process ids
+// as opaque. The lock word is pid-coded (holds id+1 via CAS, 0 when free) and
+// each process's phase cell moves to its renamed owner; no other state
+// depends on ids, so every permutation of [0,n) is a symmetry.
+func (in *instance) Symmetry() *sim.Symmetry {
+	n := len(in.phase)
+	if n > symmetryMaxProcs {
+		return nil
+	}
+	sym := sim.NewSymmetry(n)
+	sym.PIDCell(in.lock.CellID())
+	for _, procs := range sim.Permutations(n)[1:] {
+		p := sim.NewPerm(procs)
+		for i := range in.phase {
+			p.MapCell(in.phase[i].CellID(), in.phase[procs[i]].CellID())
+		}
+		sym.Add(p)
+	}
+	return sym
+}
 
 func (in *instance) Bind(env memory.Env) mutex.Handle {
 	return &handle{env: env, in: in, id: env.ID()}

@@ -267,6 +267,17 @@ type instance struct {
 
 var _ mutex.Instance = (*instance)(nil)
 
+// watree deliberately does NOT implement mutex.SymmetricInstance. Its
+// registration words pack one bit per child slot and its own/grant handoff
+// addresses successors by slot position: the FAA return value's bit ORDER is
+// protocol state, so renaming two processes does not merely relocate cell
+// contents — it would have to reorder bits inside a single word, and even a
+// subtree swap changes which register bit a process's whole path touches
+// while the handoff scan (lowest-set-bit first) is not equivariant under
+// that reordering. The checker's differential suite instead pins that
+// running watree with -symmetry on is byte-identical to off (no declared
+// group means the canonical key degenerates to the plain key).
+
 func (in *instance) Bind(env memory.Env) mutex.Handle {
 	return &handle{env: env, in: in, id: env.ID()}
 }

@@ -30,6 +30,7 @@ import (
 
 	"rme/internal/memory"
 	"rme/internal/mutex"
+	"rme/internal/sim"
 	"rme/internal/word"
 )
 
@@ -56,7 +57,13 @@ func (Lock) Recoverable() bool { return false }
 // node is one two-process Peterson arbitration point with waiter
 // registration for targeted wakeups.
 type node struct {
-	flag   [2]memory.Cell
+	flag [2]memory.Cell
+	// victim holds side+1 of the last arriver (0 = never written). Encoding
+	// the side as side+1 rather than the raw bit follows the repo's id+1
+	// discipline for identity-carrying words; it costs nothing (every read of
+	// victim happens after the reader's own write, so 0 is never observed by
+	// the protocol) and makes the word's value domain unambiguous under the
+	// declared subtree-swap symmetry: 0 is side-neutral, 1 and 2 trade places.
 	victim memory.Cell
 	// waiter[s] holds id+1 of the process currently waiting on side s
 	// (0 = none); read by the rival to find whose gate to open.
@@ -117,6 +124,119 @@ func (in *instance) Bind(env memory.Env) mutex.Handle {
 	return &handle{env: env, in: in, id: env.ID()}
 }
 
+var _ mutex.SymmetricInstance = (*instance)(nil)
+
+// symmetryMaxLevels caps automorphism enumeration (2^(2^L - 1) swap subsets
+// are examined); trees past n = 8 declare nothing.
+const symmetryMaxLevels = 3
+
+// Symmetry declares the tree's automorphisms. A tournament tree is not
+// symmetric under arbitrary renamings — a process's path is its id's bit
+// pattern — but swapping the two subtrees of any set of internal nodes is a
+// symmetry whenever the induced leaf-slot permutation keeps every process
+// slot in [0,n). Under a swap at a node, its flag/waiter pairs trade sides
+// (waiter words are pid-coded on top), its victim word flips 1↔2, the
+// subtree nodes relocate along their permuted paths, and each per-process
+// gate cell moves to the renamed process's segment.
+//
+// For n = 3 only the first leaf node's swap survives (slot 3 is unused, so
+// any swap moving slots 2/3 is invalid): the group is {id, (0 1)}, order 2 —
+// the ceiling for reduction claims at n = 3. A full tree of n = 4 yields the
+// order-8 wreath product.
+func (in *instance) Symmetry() *sim.Symmetry {
+	l := in.levels
+	if l == 0 || l > symmetryMaxLevels {
+		return nil
+	}
+	nodesTotal := 1<<uint(l) - 1
+	// nodeBit indexes internal node (lv, i) in a swap-subset bitmask,
+	// level-major: the root is bit 0, level 1 holds bits 1..2, and so on.
+	nodeBit := func(lv, i int) uint { return uint(1<<uint(lv) - 1 + i) }
+	sym := sim.NewSymmetry(in.n)
+	for lv := range in.nodes {
+		for i := range in.nodes[lv] {
+			sym.PIDCell(in.nodes[lv][i].waiter[0].CellID())
+			sym.PIDCell(in.nodes[lv][i].waiter[1].CellID())
+		}
+	}
+	for mask := 1; mask < 1<<uint(nodesTotal); mask++ {
+		swapped := func(lv, i int) bool { return mask>>nodeBit(lv, i)&1 == 1 }
+		// mapSlot applies the swaps top-down: at each level the node index is
+		// read from the partially renamed slot (upper levels already applied),
+		// and a swapped node flips the slot's side bit for that level.
+		mapSlot := func(x int) int {
+			for lv := 0; lv < l; lv++ {
+				if swapped(lv, x>>uint(l-lv)) {
+					x ^= 1 << uint(l-lv-1)
+				}
+			}
+			return x
+		}
+		procs := make([]int, in.n)
+		valid := true
+		for p := 0; p < in.n; p++ {
+			q := mapSlot(p)
+			if q >= in.n {
+				valid = false
+				break
+			}
+			procs[p] = q
+		}
+		if !valid {
+			continue
+		}
+		perm := sim.NewPerm(procs)
+		for lv := 0; lv < l; lv++ {
+			for i := range in.nodes[lv] {
+				// The node's new index follows its path through the swaps of
+				// the levels above it (the same walk mapSlot performs).
+				x := i << uint(l-lv)
+				for u := 0; u < lv; u++ {
+					if swapped(u, x>>uint(l-u)) {
+						x ^= 1 << uint(l-u-1)
+					}
+				}
+				ni := x >> uint(l-lv)
+				s := 0
+				if swapped(lv, ni) {
+					s = 1
+				}
+				src, dst := &in.nodes[lv][i], &in.nodes[lv][ni]
+				perm.MapCell(src.flag[0].CellID(), dst.flag[s].CellID())
+				perm.MapCell(src.flag[1].CellID(), dst.flag[1-s].CellID())
+				perm.MapCell(src.waiter[0].CellID(), dst.waiter[s].CellID())
+				perm.MapCell(src.waiter[1].CellID(), dst.waiter[1-s].CellID())
+				perm.MapCell(src.victim.CellID(), dst.victim.CellID())
+				if s == 1 {
+					perm.MapValue(src.victim.CellID(), flipVictim)
+				}
+			}
+		}
+		for lv := 0; lv < l; lv++ {
+			for p := 0; p < in.n; p++ {
+				perm.MapCell(in.gate[lv][p].CellID(), in.gate[lv][procs[p]].CellID())
+			}
+		}
+		sym.Add(perm)
+	}
+	if sym.Order() == 1 {
+		return nil
+	}
+	return sym
+}
+
+// flipVictim trades the victim word's sides under a subtree swap; 0 (never
+// written) is side-neutral.
+func flipVictim(v word.Word) word.Word {
+	switch v {
+	case 1:
+		return 2
+	case 2:
+		return 1
+	}
+	return v
+}
+
 type handle struct {
 	mutex.Unrecoverable
 
@@ -150,7 +270,7 @@ func (h *handle) allowed(nd *node, side int) bool {
 	if h.env.Read(nd.flag[other]) == 0 {
 		return true
 	}
-	return h.env.Read(nd.victim) != word.Word(side)
+	return h.env.Read(nd.victim) != word.Word(side)+1
 }
 
 // nodeLock acquires one node. After announcing (flag, victim) it wakes the
@@ -160,7 +280,7 @@ func (h *handle) nodeLock(level int) {
 	nd, side := h.nodeAt(level)
 	other := 1 - side
 	h.env.Write(nd.flag[side], 1)
-	h.env.Write(nd.victim, word.Word(side))
+	h.env.Write(nd.victim, word.Word(side)+1)
 	h.wakeRival(level, nd, other)
 
 	gate := h.in.gate[level][h.id]

@@ -67,6 +67,41 @@ type Config struct {
 	// split over root branches like MaxSchedules). 0 means the default.
 	MaxStates int
 
+	// Symmetry enables process-symmetry reduction under Memo: state keys are
+	// canonicalized over the algorithm's declared symmetry group
+	// (mutex.SymmetricInstance), so states equal up to a declared renaming
+	// are explored once. Algorithms with no declaration run exactly as with
+	// the flag off. Verdicts are unchanged; only reachability is pruned.
+	Symmetry bool
+	// SharedVisited shares visited sets across root branches: branches run
+	// in fixed waves of WaveSize, each wave reading the sets sealed by fully
+	// explored branches of strictly earlier waves. Wave membership,
+	// visibility, and seal contents are pure functions of the configuration,
+	// so the Result stays byte-identical at any Parallel. Implies Memo.
+	SharedVisited bool
+	// WaveSize is the root-branch wave width for SharedVisited (default
+	// DefaultWaveSize). It is a semantic knob: smaller waves seal earlier and
+	// prune more. Results are byte-identical at any Parallel for a fixed
+	// WaveSize, not across different WaveSize values.
+	WaveSize int
+	// MaxWaves > 0 stops the shared-set search after that many waves (the
+	// Result is Truncated); with SpillDir the checkpoint then covers the
+	// completed waves, so a later Resume run picks up where this one stopped.
+	// Ignored without SharedVisited.
+	MaxWaves int
+	// MemBudget > 0 bounds the resident bytes of sealed shared sets: the
+	// oldest waves past the budget are served from their spill files
+	// (SpillDir, or a private temporary directory when unset). Pruning, and
+	// therefore the Result, is unaffected.
+	MemBudget int64
+	// SpillDir, when set, persists every sealed wave and a manifest
+	// checkpoint to this directory, enabling Resume and MemBudget eviction.
+	SpillDir string
+	// Resume continues a checkpointed shared-set run from SpillDir. The
+	// configuration must match the checkpoint (a config digest is verified);
+	// the final Result is byte-identical to an uninterrupted run.
+	Resume bool
+
 	// Telemetry, when non-nil, receives live search statistics (check_*
 	// counters mirroring the Result fields, frontier-depth gauge, restore
 	// replay-length histogram) and budget gauges. Strictly write-only: the
@@ -78,6 +113,7 @@ type Config struct {
 const (
 	DefaultSnapshotInterval = 32
 	DefaultMaxStates        = 4_000_000
+	DefaultWaveSize         = 4
 )
 
 func (c Config) withDefaults() Config {
@@ -92,6 +128,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxStates == 0 {
 		c.MaxStates = DefaultMaxStates
+	}
+	if c.SharedVisited {
+		c.Memo = true
+		if c.WaveSize <= 0 {
+			c.WaveSize = DefaultWaveSize
+		}
 	}
 	if c.Session.Passes == 0 {
 		c.Session.Passes = 1
@@ -129,6 +171,13 @@ type Result struct {
 	// StatesPruned counts search nodes skipped because their canonical state
 	// was already explored.
 	StatesPruned int
+	// SharedPruned is the subset of StatesPruned whose hit came from the
+	// shared visited set (a wave sealed earlier) rather than the branch's
+	// private set; 0 unless SharedVisited.
+	SharedPruned int
+	// Waves counts the search waves the shared-set orchestrator completed,
+	// waves restored by Resume included; 0 unless SharedVisited.
+	Waves int
 	// SleepPruned counts step branches skipped by the sleep-set reduction.
 	SleepPruned int
 	// MachineSteps counts every simulator action the search executed,
@@ -169,6 +218,7 @@ func (r *Result) merge(b *Result) {
 	r.DeadlockSchedules = append(r.DeadlockSchedules, b.DeadlockSchedules...)
 	r.StatesVisited += b.StatesVisited
 	r.StatesPruned += b.StatesPruned
+	r.SharedPruned += b.SharedPruned
 	r.SleepPruned += b.SleepPruned
 	r.MachineSteps += b.MachineSteps
 	r.ReplaySteps += b.ReplaySteps
@@ -185,6 +235,14 @@ func Exhaustive(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Session.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Resume {
+		if !cfg.SharedVisited {
+			return nil, errors.New("check: Resume requires SharedVisited")
+		}
+		if cfg.SpillDir == "" {
+			return nil, errors.New("check: Resume requires SpillDir")
+		}
 	}
 
 	// Examine the root state once: branch set, footprints, and the degenerate
@@ -214,6 +272,10 @@ func Exhaustive(cfg Config) (*Result, error) {
 	}
 	sleeps := rootSleepMasks(cfg, root, branches)
 	root.Close()
+
+	if cfg.SharedVisited {
+		return exhaustiveShared(cfg, branches, sleeps)
+	}
 
 	subs := make([]*Result, len(branches))
 	scheduleSlice := ceilDiv(cfg.MaxSchedules, len(branches))

@@ -139,19 +139,32 @@ func comparePlain(t *testing.T, c diffCase, got, ref *Result) {
 }
 
 // compareReduced checks every reduction mode's verdicts against the
-// reference's.
+// reference's. The scale-out mechanisms (symmetry canonicalization, shared
+// visited sets, disk spill) are reduction modes like memo and POR: each
+// combination must keep the reference's verdict and produce replayable
+// counterexamples. Algorithms with no declared symmetry group exercise the
+// symmetry modes as exact no-ops, which is itself part of the contract.
 func compareReduced(t *testing.T, cfg Config, ref *Result) {
 	t.Helper()
 	for _, mode := range []struct {
-		name      string
-		memo, por bool
+		name string
+		set  func(*Config)
 	}{
-		{"memo", true, false},
-		{"por", false, true},
-		{"memo+por", true, true},
+		{"memo", func(c *Config) { c.Memo = true }},
+		{"por", func(c *Config) { c.POR = true }},
+		{"memo+por", func(c *Config) { c.Memo, c.POR = true, true }},
+		{"memo+sym", func(c *Config) { c.Memo, c.Symmetry = true, true }},
+		{"memo+por+sym", func(c *Config) { c.Memo, c.POR, c.Symmetry = true, true, true }},
+		{"shared", func(c *Config) { c.SharedVisited, c.WaveSize = true, 2 }},
+		{"shared+por+sym", func(c *Config) {
+			c.SharedVisited, c.WaveSize, c.POR, c.Symmetry = true, 2, true, true
+		}},
+		{"shared+spill", func(c *Config) {
+			c.SharedVisited, c.WaveSize, c.MemBudget = true, 2, 1
+		}},
 	} {
 		cfg := cfg
-		cfg.Memo, cfg.POR = mode.memo, mode.por
+		mode.set(&cfg)
 		got, err := Exhaustive(cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", mode.name, err)

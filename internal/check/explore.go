@@ -35,8 +35,28 @@ type explorer struct {
 	// was explored under (0 = explored in full). A revisit is pruned only if
 	// its own mask covers the stored one; otherwise the state is re-explored
 	// under the intersection, which shrinks monotonically, so the search
-	// terminates.
+	// terminates. With Config.Symmetry the keys are canonical over the
+	// declared group and the masks are stored in the canonical frame (bit p
+	// describes canonical process p, i.e. procTo[p] of the minimizing
+	// permutation).
 	visited map[sim.Fingerprint]uint64
+
+	// shared, when non-nil, is a read-only view of the visited sets sealed by
+	// earlier waves of the shared-set search (see sharedStore). Lookups prune
+	// exactly like private hits; this explorer's own discoveries go to
+	// visited and are merged by the orchestrator after the wave completes.
+	shared *sharedView
+
+	// ancestors and tainted implement partial sealing for budget-cut
+	// branches (shared mode only). ancestors is the stack of fingerprints
+	// memoized on the current DFS path; tainted snapshots that stack at the
+	// first budget cut — exactly the states whose recorded claims the cut
+	// left unwitnessed (once a cap fires, no later node memoizes, so later
+	// cuts see only a prefix of the same stack). cleanVisited removes them
+	// before the delta is sealed for other branches.
+	ancestors []sim.Fingerprint
+	tainted   map[sim.Fingerprint]struct{}
+	budgetCut bool
 
 	// path is the action sequence from the root to the live session's state.
 	path sim.Schedule
@@ -58,6 +78,7 @@ type explorer struct {
 // final cumulative snapshot agrees with the merged Result field for field.
 type checkTelemetry struct {
 	visited, pruned, slept    *telemetry.Counter
+	sharedPruned              *telemetry.Counter
 	complete, depthTrunc      *telemetry.Counter
 	machineSteps, replaySteps *telemetry.Counter
 	depth                     *telemetry.Gauge
@@ -74,6 +95,7 @@ func newCheckTelemetry(reg *telemetry.Registry) checkTelemetry {
 		visited:      reg.Counter("check_states_visited"),
 		pruned:       reg.Counter("check_states_pruned"),
 		slept:        reg.Counter("check_sleep_pruned"),
+		sharedPruned: reg.Counter("check_shared_pruned"),
 		complete:     reg.Counter("check_schedules_complete"),
 		depthTrunc:   reg.Counter("check_depth_truncated"),
 		machineSteps: reg.Counter("check_machine_steps"),
@@ -235,6 +257,7 @@ func (e *explorer) explore(sleep uint64) error {
 	s := e.live
 	if e.res.Complete >= e.maxComplete {
 		e.res.Truncated = true
+		e.noteBudgetCut()
 		return nil
 	}
 	if v := s.Violations(); len(v) > 0 {
@@ -244,22 +267,45 @@ func (e *explorer) explore(sleep uint64) error {
 		return nil
 	}
 	var fp sim.Fingerprint
+	var procTo []int
 	if e.cfg.Memo {
 		if e.res.StatesVisited >= e.maxStates {
 			e.res.Truncated = true
+			e.noteBudgetCut()
 			return nil
 		}
-		fp = s.StateKey(e.fpSeed)
+		if e.cfg.Symmetry {
+			fp, procTo = s.CanonicalStateKey(e.fpSeed)
+		} else {
+			fp = s.StateKey(e.fpSeed)
+		}
+		// Sleep masks are stored and compared in the canonical frame: bit p of
+		// a stored mask talks about canonical process p, which is procTo[p] in
+		// this concrete state. A hit means the stored exploration covers an
+		// isomorphic subtree, so subsumption transports along the isomorphism.
+		canon := mapMask(sleep, procTo)
 		if stored, ok := e.visited[fp]; ok {
-			if stored&^sleep == 0 {
+			if stored&^canon == 0 {
 				// Everything reachable here was explored under a sleep set no
 				// larger than ours.
 				e.res.StatesPruned++
 				e.tm.pruned.Inc()
 				return nil
 			}
-			sleep &= stored
+			canon &= stored
 		}
+		if e.shared != nil {
+			prune, narrowed := e.shared.filter(fp, canon)
+			if prune {
+				e.res.StatesPruned++
+				e.res.SharedPruned++
+				e.tm.pruned.Inc()
+				e.tm.sharedPruned.Inc()
+				return nil
+			}
+			canon = narrowed
+		}
+		sleep = unmapMask(canon, procTo)
 	}
 
 	m := s.Machine()
@@ -294,7 +340,11 @@ func (e *explorer) explore(sleep uint64) error {
 	if !porOK {
 		sleep = 0
 	}
-	e.memoize(fp, sleep)
+	e.memoize(fp, mapMask(sleep, procTo))
+	pushed := e.shared != nil && e.cfg.Memo
+	if pushed {
+		e.ancestors = append(e.ancestors, fp)
+	}
 
 	var foots [maskProcs]mutex.StepFootprint
 	var footOK uint64
@@ -355,7 +405,35 @@ func (e *explorer) explore(sleep uint64) error {
 			taken |= 1 << uint(act.Proc)
 		}
 	}
+	if pushed {
+		e.ancestors = e.ancestors[:len(e.ancestors)-1]
+	}
 	return nil
+}
+
+// noteBudgetCut records, once, the states whose subtrees the budget cut
+// leaves incomplete: the memoized ancestors of the cut point. Their claims
+// must not be sealed for other branches (the exploration that would witness
+// them never finished); everything else in visited remains fully witnessed.
+func (e *explorer) noteBudgetCut() {
+	if e.budgetCut || e.shared == nil {
+		return
+	}
+	e.budgetCut = true
+	e.tainted = make(map[sim.Fingerprint]struct{}, len(e.ancestors))
+	for _, fp := range e.ancestors {
+		e.tainted[fp] = struct{}{}
+	}
+}
+
+// cleanVisited strips the tainted entries from the visited set and returns
+// it: the sealable subset of this branch's discoveries. For an untruncated
+// branch this is the whole set.
+func (e *explorer) cleanVisited() map[sim.Fingerprint]uint64 {
+	for fp := range e.tainted {
+		delete(e.visited, fp)
+	}
+	return e.visited
 }
 
 // memoize records fp as explored under the given sleep mask.
@@ -366,6 +444,37 @@ func (e *explorer) memoize(fp sim.Fingerprint, sleep uint64) {
 	e.visited[fp] = sleep
 	e.res.StatesVisited++
 	e.tm.visited.Inc()
+}
+
+// mapMask transports a sleep mask into the canonical frame of the minimizing
+// permutation: concrete process p becomes canonical process procTo[p]. A nil
+// procTo (identity minimizer, or symmetry off) is free.
+func mapMask(mask uint64, procTo []int) uint64 {
+	if procTo == nil || mask == 0 {
+		return mask
+	}
+	var out uint64
+	for p := 0; p < len(procTo) && mask>>uint(p) != 0; p++ {
+		if mask>>uint(p)&1 == 1 {
+			out |= 1 << uint(procTo[p])
+		}
+	}
+	return out
+}
+
+// unmapMask is the inverse of mapMask: canonical process procTo[p] becomes
+// concrete process p.
+func unmapMask(mask uint64, procTo []int) uint64 {
+	if procTo == nil || mask == 0 {
+		return mask
+	}
+	var out uint64
+	for p, q := range procTo {
+		if mask>>uint(q)&1 == 1 {
+			out |= 1 << uint(p)
+		}
+	}
+	return out
 }
 
 // crashBranch reports whether p gets a crash branch in addition to its step.

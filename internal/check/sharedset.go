@@ -1,0 +1,492 @@
+package check
+
+import (
+	"fmt"
+	"math/bits"
+	"os"
+
+	"rme/internal/engine"
+	"rme/internal/sim"
+	"rme/internal/telemetry"
+)
+
+// exhaustiveShared is the wave-structured variant of Exhaustive used when
+// Config.SharedVisited is set. Root branches run in fixed waves of WaveSize;
+// a branch reads the visited sets sealed by strictly earlier waves and writes
+// only its private delta, so nothing a branch observes depends on scheduling
+// within its own wave. After a wave completes, each branch's clean delta is
+// merged and sealed: a budget-truncated branch contributes only the states
+// whose subtrees it finished exploring before the cut (see cleanVisited) —
+// the claims a cut left unwitnessed would be unsound to share. The final
+// Result is therefore a pure function of the configuration: byte-identical at
+// any Parallel, and byte-identical across a checkpoint/Resume split.
+func exhaustiveShared(cfg Config, branches []sim.Action, sleeps []uint64) (*Result, error) {
+	nb := len(branches)
+	nWaves := ceilDiv(nb, cfg.WaveSize)
+
+	store, err := newSharedStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer store.close()
+
+	subs := make([]*Result, nb)
+	// Budgets start at the -1 sentinel ("never assigned"): a wave slices the
+	// rolled-forward remainder on its first visit only, so budgets raised by a
+	// redistribution round survive the rerun passes below.
+	schedBudget := make([]int, nb)
+	stateBudget := make([]int, nb)
+	for i := range schedBudget {
+		schedBudget[i] = -1
+		stateBudget[i] = -1
+	}
+
+	cfg.Telemetry.Gauge("check_branches").Set(int64(nb))
+	cfg.Telemetry.Gauge("check_waves").Set(int64(nWaves))
+	cfg.Telemetry.Gauge("check_max_schedules").Set(int64(cfg.MaxSchedules))
+	cfg.Telemetry.Gauge("check_max_states").Set(int64(cfg.MaxStates))
+	schedGauge := cfg.Telemetry.Gauge("check_branch_schedule_budget")
+	stateGauge := cfg.Telemetry.Gauge("check_branch_state_budget")
+	branchesDone := cfg.Telemetry.Counter("check_branches_done")
+	wavesDoneCounter := cfg.Telemetry.Counter("check_waves_done")
+	budgetRounds := cfg.Telemetry.Counter("check_budget_rounds")
+
+	startWave, rounds := 0, 0
+	if cfg.Resume {
+		man, err := loadManifest(cfg, nb)
+		if err != nil {
+			return nil, err
+		}
+		copy(subs, man.Subs)
+		copy(schedBudget, man.SchedBudget)
+		copy(stateBudget, man.StateBudget)
+		startWave = man.WavesDone
+		rounds = man.Rounds
+		if err := store.loadRuns(man); err != nil {
+			return nil, err
+		}
+		cfg.Telemetry.Gauge("check_resume_waves").Set(int64(startWave))
+		if man.Done {
+			// The checkpoint covers a finished run (all waves plus budget
+			// redistribution): the stored sub-results merge to the final
+			// Result with no re-exploration.
+			res := &Result{Waves: man.WavesDone}
+			for _, sub := range subs {
+				res.merge(sub)
+			}
+			return res, nil
+		}
+	}
+
+	// waveOf gives the visibility horizon a branch keeps across reruns: a
+	// branch may read only waves strictly before its own, whether it runs in
+	// its wave or again during budget redistribution.
+	waveOf := func(i int) int { return i / cfg.WaveSize }
+
+	runOne := func(i int, delta *map[sim.Fingerprint]uint64) error {
+		e := newExplorer(cfg, schedBudget[i], stateBudget[i])
+		defer e.close()
+		e.shared = &sharedView{store: store, maxGen: waveOf(i)}
+		sub, err := e.run(branches[i], sleeps[i])
+		subs[i] = sub
+		if delta != nil {
+			*delta = e.cleanVisited()
+		}
+		return err
+	}
+
+	// runWaves drives waves [from, nWaves) in order: slice budgets on a
+	// wave's first-ever visit, run its branches, seal the untruncated deltas,
+	// checkpoint. It is called once for the initial pass and again after each
+	// budget-redistribution rollback; on repeat visits the (possibly grown)
+	// budgets are left alone. Returns true if MaxWaves stopped the pass.
+	wavesDone := startWave
+	runWaves := func(from int) (bool, error) {
+		for w := from; w < nWaves; w++ {
+			if cfg.MaxWaves > 0 && w >= cfg.MaxWaves {
+				return true, nil
+			}
+			lo := w * cfg.WaveSize
+			hi := lo + cfg.WaveSize
+			if hi > nb {
+				hi = nb
+			}
+			if schedBudget[lo] < 0 {
+				// First visit: the whole remaining budget rolls forward to
+				// this wave and is sliced across the wave's branches only.
+				// Shared-mode branch sizes depend on what earlier waves
+				// sealed, so reserving budget for later waves (as plain
+				// Exhaustive does across its branches) would starve hot early
+				// waves on work that later waves will never need to repeat.
+				// With WaveSize 1 this is exactly the reference's sequential
+				// global budget; wider waves rely on the redistribution
+				// rounds below when the slice starves a branch.
+				spentSched, spentStates := 0, 0
+				for i := 0; i < lo; i++ {
+					spentSched += subs[i].Complete
+					spentStates += subs[i].StatesVisited
+				}
+				sliceSched := ceilDiv(maxInt(0, cfg.MaxSchedules-spentSched), hi-lo)
+				sliceState := ceilDiv(maxInt(0, cfg.MaxStates-spentStates), hi-lo)
+				for i := lo; i < hi; i++ {
+					schedBudget[i] = sliceSched
+					stateBudget[i] = sliceState
+				}
+			}
+			schedGauge.Set(int64(schedBudget[lo]))
+			stateGauge.Set(int64(stateBudget[lo]))
+
+			deltas := make([]map[sim.Fingerprint]uint64, hi-lo)
+			err := engine.ForEach(hi-lo, cfg.Parallel, func(k int) error {
+				defer branchesDone.Inc()
+				return runOne(lo+k, &deltas[k])
+			})
+			if err != nil {
+				return false, err
+			}
+
+			if err := store.seal(w, deltas); err != nil {
+				return false, err
+			}
+			wavesDone = w + 1
+			wavesDoneCounter.Inc()
+			if cfg.SpillDir != "" {
+				if err := writeManifest(cfg, nb, wavesDone, rounds, false, subs, schedBudget, stateBudget, store); err != nil {
+					return false, err
+				}
+			}
+		}
+		return false, nil
+	}
+
+	stopped, err := runWaves(startWave)
+	if err != nil {
+		return nil, err
+	}
+	if stopped {
+		// MaxWaves cut the run before every branch was explored; the merged
+		// result covers the completed waves only and is marked truncated. The
+		// per-wave checkpoints (if any) let Resume finish the job.
+		res := &Result{Waves: wavesDone, Truncated: true}
+		for _, sub := range subs {
+			if sub != nil {
+				res.merge(sub)
+			}
+		}
+		return res, nil
+	}
+
+	// Budget redistribution across waves: hand the globally unspent budget to
+	// budget-capped branches in deterministic rounds. Unlike plain
+	// Exhaustive, a shared-mode rerun changes what later branches observe
+	// (a branch that outgrew its cap now seals a delta it previously could
+	// not), so each round rolls the run back to the earliest grown wave and
+	// replays every wave from there with the raised budgets. That keeps the
+	// final pass fully sealed — no terminal is double-counted across branches
+	// — and keeps the Result a pure function of the configuration. The round
+	// counter is checkpointed so a Resume replays the identical schedule.
+	for rounds < maxBudgetRounds {
+		totalComplete, totalStates := 0, 0
+		for _, sub := range subs {
+			totalComplete += sub.Complete
+			totalStates += sub.StatesVisited
+		}
+		var capped []int
+		for i, sub := range subs {
+			if !sub.Truncated {
+				continue
+			}
+			if sub.Complete >= schedBudget[i] || sub.StatesVisited >= stateBudget[i] {
+				capped = append(capped, i)
+			}
+		}
+		if len(capped) == 0 {
+			break
+		}
+		extraSched := maxInt(0, (cfg.MaxSchedules-totalComplete)/len(capped))
+		extraStates := maxInt(0, (cfg.MaxStates-totalStates)/len(capped))
+		var redo []int
+		for _, i := range capped {
+			grows := subs[i].Complete >= schedBudget[i] && extraSched > 0
+			if subs[i].StatesVisited >= stateBudget[i] && extraStates > 0 {
+				grows = true
+			}
+			if grows {
+				redo = append(redo, i)
+			}
+		}
+		if len(redo) == 0 {
+			break
+		}
+		rounds++
+		budgetRounds.Inc()
+		for _, i := range redo {
+			schedBudget[i] += extraSched
+			stateBudget[i] += extraStates
+		}
+		restart := waveOf(redo[0])
+		store.truncate(restart)
+		wavesDone = restart
+		if _, err := runWaves(restart); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Waves: wavesDone}
+	for _, sub := range subs {
+		res.merge(sub)
+	}
+	if cfg.SpillDir != "" {
+		if err := writeManifest(cfg, nb, wavesDone, rounds, true, subs, schedBudget, stateBudget, store); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sharedStore holds the sealed visited sets, one generation per wave. A
+// generation lives as an in-memory map, a sorted spill-run file, or both;
+// MemBudget evicts the oldest resident maps once their run files exist.
+// During a wave the sealed generations are strictly read-only, so concurrent
+// branch lookups need no locking.
+type sharedStore struct {
+	dir       string
+	ownsDir   bool
+	memBudget int64
+	waves     []storeWave
+
+	spillRuns, spillEntries, spillBytes *telemetry.Gauge
+}
+
+type storeWave struct {
+	mem map[sim.Fingerprint]uint64
+	run *spillRun
+}
+
+// sharedView is an explorer's read window onto the store: generations
+// [0, maxGen) — the waves sealed strictly before the explorer's own.
+type sharedView struct {
+	store  *sharedStore
+	maxGen int
+}
+
+// filter applies the sealed claims for fp to the current canonical sleep
+// mask. Each generation's stored mask is an independently witnessed
+// "explored under W" claim, so the generations are consulted one at a time:
+// a claim covering the current mask prunes; otherwise it narrows the mask
+// for the exploration (and the claims) that follow. Claims are never
+// intersected with each other — two witnesses for W1 and W2 do not witness
+// W1∩W2.
+func (v *sharedView) filter(fp sim.Fingerprint, mask uint64) (prune bool, out uint64) {
+	n := v.maxGen
+	if n > len(v.store.waves) {
+		n = len(v.store.waves)
+	}
+	for g := 0; g < n; g++ {
+		stored, ok := v.store.waves[g].lookup(fp)
+		if !ok {
+			continue
+		}
+		if stored&^mask == 0 {
+			return true, mask
+		}
+		mask &= stored
+	}
+	return false, mask
+}
+
+func (w *storeWave) lookup(fp sim.Fingerprint) (uint64, bool) {
+	if w.mem != nil {
+		v, ok := w.mem[fp]
+		return v, ok
+	}
+	if w.run != nil {
+		return w.run.lookup(fp)
+	}
+	return 0, false
+}
+
+func newSharedStore(cfg Config) (*sharedStore, error) {
+	st := &sharedStore{
+		dir:          cfg.SpillDir,
+		memBudget:    cfg.MemBudget,
+		spillRuns:    cfg.Telemetry.Gauge("check_spill_runs"),
+		spillEntries: cfg.Telemetry.Gauge("check_spill_entries"),
+		spillBytes:   cfg.Telemetry.Gauge("check_spill_bytes"),
+	}
+	if st.dir == "" && st.memBudget > 0 {
+		// A memory budget needs somewhere to spill; without a SpillDir the
+		// store uses a private scratch directory (no checkpoint, no Resume).
+		d, err := os.MkdirTemp("", "rmespill-")
+		if err != nil {
+			return nil, fmt.Errorf("check: creating scratch spill dir: %w", err)
+		}
+		st.dir = d
+		st.ownsDir = true
+	} else if st.dir != "" {
+		if err := os.MkdirAll(st.dir, 0o755); err != nil {
+			return nil, fmt.Errorf("check: creating spill dir: %w", err)
+		}
+	}
+	return st, nil
+}
+
+func (st *sharedStore) close() {
+	for i := range st.waves {
+		if st.waves[i].run != nil {
+			st.waves[i].run.close()
+		}
+	}
+	if st.ownsDir {
+		os.RemoveAll(st.dir)
+	}
+}
+
+// seal merges the given private deltas into generation `wave` and, when a
+// spill directory exists, writes the generation's sorted run file. When two
+// deltas claim the same state the stronger single claim wins (betterMask);
+// min over a total order is merge-order-free, so the sealed generation is
+// identical regardless of how the wave's branches were scheduled.
+func (st *sharedStore) seal(wave int, deltas []map[sim.Fingerprint]uint64) error {
+	for len(st.waves) <= wave {
+		st.waves = append(st.waves, storeWave{})
+	}
+	merged := make(map[sim.Fingerprint]uint64)
+	for _, d := range deltas {
+		for fp, mask := range d {
+			if prev, ok := merged[fp]; ok {
+				mask = betterMask(prev, mask)
+			}
+			merged[fp] = mask
+		}
+	}
+	st.waves[wave].mem = merged
+	if st.dir != "" {
+		run, err := writeSpillRun(spillRunPath(st.dir, wave), merged)
+		if err != nil {
+			return err
+		}
+		if old := st.waves[wave].run; old != nil {
+			old.close()
+		}
+		st.waves[wave].run = run
+		st.updateSpillGauges()
+	}
+	return st.enforceMemBudget()
+}
+
+// truncate discards every sealed generation from `wave` on — a budget
+// redistribution round is about to replay those waves, and their seals
+// reflect the smaller budgets. Run files are removed so a checkpoint taken
+// mid-replay never references stale content.
+func (st *sharedStore) truncate(wave int) {
+	if wave >= len(st.waves) {
+		return
+	}
+	for i := wave; i < len(st.waves); i++ {
+		if st.waves[i].run != nil {
+			st.waves[i].run.close()
+			os.Remove(spillRunPath(st.dir, i))
+		}
+	}
+	st.waves = st.waves[:wave]
+	st.updateSpillGauges()
+}
+
+// loadRuns attaches the checkpointed run files for the manifest's sealed
+// waves. Resumed generations are served from disk (their maps are not
+// rebuilt); lookups return the same masks either way, so the Result is
+// unaffected.
+func (st *sharedStore) loadRuns(man *spillManifest) error {
+	for len(st.waves) < man.WavesDone {
+		st.waves = append(st.waves, storeWave{})
+	}
+	for _, rm := range man.Runs {
+		if rm.Wave < 0 || rm.Wave >= man.WavesDone {
+			return fmt.Errorf("check: manifest run for wave %d out of range", rm.Wave)
+		}
+		run, err := openSpillRun(spillRunPath(st.dir, rm.Wave))
+		if err != nil {
+			return err
+		}
+		if run.count != rm.Entries {
+			run.close()
+			return fmt.Errorf("check: spill run for wave %d has %d entries, manifest says %d",
+				rm.Wave, run.count, rm.Entries)
+		}
+		st.waves[rm.Wave].run = run
+	}
+	for w := 0; w < man.WavesDone; w++ {
+		if st.waves[w].run == nil {
+			return fmt.Errorf("check: manifest is missing the run for sealed wave %d", w)
+		}
+	}
+	st.updateSpillGauges()
+	return nil
+}
+
+// enforceMemBudget drops the oldest resident maps whose run files exist
+// until the estimated resident size fits the budget.
+func (st *sharedStore) enforceMemBudget() error {
+	if st.memBudget <= 0 {
+		return nil
+	}
+	const bytesPerEntry = 48 // fingerprint + mask + map overhead, estimated
+	resident := func() int64 {
+		var total int64
+		for i := range st.waves {
+			if st.waves[i].mem != nil {
+				total += int64(len(st.waves[i].mem)) * bytesPerEntry
+			}
+		}
+		return total
+	}
+	for i := range st.waves {
+		if resident() <= st.memBudget {
+			break
+		}
+		if st.waves[i].mem != nil && st.waves[i].run != nil {
+			st.waves[i].mem = nil
+		}
+	}
+	return nil
+}
+
+func (st *sharedStore) updateSpillGauges() {
+	var runs, entries, bytes int64
+	for i := range st.waves {
+		if r := st.waves[i].run; r != nil {
+			runs++
+			entries += r.count
+			bytes += r.sizeBytes()
+		}
+	}
+	st.spillRuns.Set(runs)
+	st.spillEntries.Set(entries)
+	st.spillBytes.Set(bytes)
+}
+
+// betterMask picks the stronger of two independently witnessed sleep-mask
+// claims for one state: fewer set bits prunes more (`stored ⊆ current` is
+// easier the smaller stored is), and the numeric tie-break keeps the choice
+// a min over a total order.
+func betterMask(a, b uint64) uint64 {
+	ca, cb := bits.OnesCount64(a), bits.OnesCount64(b)
+	if ca != cb {
+		if ca < cb {
+			return a
+		}
+		return b
+	}
+	if a < b {
+		return a
+	}
+	return b
+}

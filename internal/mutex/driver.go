@@ -85,6 +85,12 @@ type Session struct {
 	csOwner  int // process owning the CS (incl. crashed-in-CS holders), or -1
 	csOrder  []int
 	errs     []string
+	// sym is the instance's process-symmetry declaration (nil if none),
+	// extended with the session's own cs-witness cell. It is built lazily on
+	// the first Symmetry/CanonicalStateKey call so sessions that never ask
+	// (benchmarks, the service layer) pay nothing.
+	sym     *sim.Symmetry
+	symInit bool
 	// poised is the retained scratch buffer for per-sweep poised snapshots in
 	// RunRoundRobin/RunRandom (sim.Machine.AppendPoised), so driving a session
 	// allocates nothing per scheduling round.

@@ -63,3 +63,51 @@ func (s *Session) CSOwner() int { return s.csOwner }
 func (s *Session) StateKey(seed uint64) sim.Fingerprint {
 	return s.mach.Fingerprint(seed).Mix(uint64(int64(s.csOwner)))
 }
+
+// Symmetry returns the instance's process-symmetry declaration (extended
+// with the driver's cs-witness cell), or nil when the algorithm declares
+// none. The declaration is built on first call and cached for the session's
+// lifetime; it survives Reset because the cell layout is sealed.
+func (s *Session) Symmetry() *sim.Symmetry {
+	if !s.symInit {
+		s.symInit = true
+		if si, ok := s.inst.(SymmetricInstance); ok {
+			if sym := si.Symmetry(); sym != nil && sym.Order() > 1 {
+				// The driver's cs-witness cell holds the CS occupant's id + 1
+				// (plus Add(0) keep-alives), so it extends any declared group
+				// under the standard pid-coded remap.
+				sym.PIDCell(s.csCell.CellID())
+				s.sym = sym
+			}
+		}
+	}
+	return s.sym
+}
+
+// CanonicalStateKey returns StateKey minimized over the declared symmetry
+// group, together with the minimizing old→new process map (nil when the
+// identity wins or no group is declared). Monitor state renames with the
+// processes: the CS owner is mapped through each permutation before mixing,
+// so the canonical key of a state equals the canonical key of its renamed
+// image. Callers needing to transport per-process data (the checker's sleep
+// masks) into the canonical frame apply the returned map; it aliases the
+// machine's compiled cache and must not be modified.
+func (s *Session) CanonicalStateKey(seed uint64) (sim.Fingerprint, []int) {
+	if s.Symmetry() == nil {
+		return s.StateKey(seed), nil
+	}
+	best := s.StateKey(seed)
+	var bestMap []int
+	for i, n := 1, s.mach.NumVariants(s.sym); i < n; i++ {
+		procTo := s.mach.VariantProcMap(s.sym, i)
+		owner := s.csOwner
+		if owner >= 0 {
+			owner = procTo[owner]
+		}
+		key := s.mach.VariantFingerprint(seed, s.sym, i).Mix(uint64(int64(owner)))
+		if key.Less(best) {
+			best, bestMap = key, procTo
+		}
+	}
+	return best, bestMap
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"rme/internal/memory"
+	"rme/internal/sim"
 )
 
 // Phase tags published by driver bodies via Proc.SetTag so controllers (and
@@ -58,6 +59,25 @@ type Instance interface {
 	// the process's own goroutine before the process takes any steps, and
 	// must not perform shared-memory operations.
 	Bind(env memory.Env) Handle
+}
+
+// SymmetricInstance is optionally implemented by instances whose algorithm is
+// equivariant under a group of process renamings: renaming the processes of
+// any execution by a declared permutation yields another legal execution of
+// the same instance. The declaration describes how each permutation acts on
+// the instance's cells and their values (see sim.Symmetry); the model checker
+// uses it to collapse states that are equal up to renaming.
+//
+// Declaring symmetry an algorithm does not have is unsound — the checker
+// would merge states with genuinely different futures. The per-algorithm
+// symmetry oracle tests in internal/check validate every declaration against
+// renamed-schedule runs; algorithms whose protocol is not pid-equivariant
+// (e.g. watree's position-based handoff) must simply not implement this
+// interface. Returning nil (or an empty declaration) is equivalent to not
+// implementing it.
+type SymmetricInstance interface {
+	Instance
+	Symmetry() *sim.Symmetry
 }
 
 // Handle is one process's interface to the lock.

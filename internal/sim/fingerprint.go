@@ -16,6 +16,16 @@ type Fingerprint struct {
 // String renders the fingerprint as 32 hex digits.
 func (f Fingerprint) String() string { return fmt.Sprintf("%016x%016x", f.Hi, f.Lo) }
 
+// Less orders fingerprints lexicographically by (Hi, Lo). The symmetry
+// reduction keys the visited set by the Less-minimum over a state's variant
+// fingerprints, so the order only needs to be total and deterministic.
+func (f Fingerprint) Less(g Fingerprint) bool {
+	if f.Hi != g.Hi {
+		return f.Hi < g.Hi
+	}
+	return f.Lo < g.Lo
+}
+
 // Mix folds an extra value (e.g. monitor state kept outside the machine)
 // into the fingerprint, returning a new fingerprint. Mixing is order
 // sensitive and injective in v for a fixed receiver lane state.
@@ -116,53 +126,7 @@ const (
 // would make two distinct futures encode equally; the checker's differential
 // tests guard this empirically for every algorithm in the repo.
 func (m *Machine) CanonicalState(buf []byte) []byte {
-	buf = appendWord(buf, fpVersionTag)
-	buf = append(buf, fpTagCells)
-	buf = appendWord(buf, uint64(len(m.cells)))
-	for _, c := range m.cells {
-		buf = appendWord(buf, uint64(c.val))
-	}
-	for _, pr := range m.procs {
-		buf = append(buf, fpTagProc)
-		var flags uint64
-		if pr.done {
-			flags |= 1
-		}
-		if pr.parked {
-			flags |= 2
-		}
-		buf = appendWord(buf, flags)
-		buf = appendWord(buf, uint64(pr.crashes))
-		buf = appendWord(buf, uint64(pr.steps))
-		buf = appendWord(buf, uint64(int64(pr.tag)))
-		switch {
-		case pr.pending == nil:
-			buf = append(buf, fpTagNone)
-		case pr.pending.isWait():
-			buf = append(buf, fpTagWait)
-			buf = appendWord(buf, uint64(len(pr.pending.multi)))
-			for _, wc := range pr.pending.multi {
-				buf = appendWord(buf, uint64(wc.id))
-			}
-		default:
-			buf = append(buf, fpTagStep)
-			buf = appendWord(buf, uint64(pr.pending.cell.id))
-			buf = appendWord(buf, uint64(pr.pending.op.Code))
-			buf = appendWord(buf, uint64(pr.pending.op.Arg))
-			buf = appendWord(buf, uint64(pr.pending.op.Arg2))
-			if pr.pending.spin != nil {
-				buf = append(buf, 1)
-			} else {
-				buf = append(buf, 0)
-			}
-			if name := pr.pending.op.Name; name != "" {
-				buf = append(buf, fpTagOpName)
-				buf = appendWord(buf, uint64(len(name)))
-				buf = append(buf, name...)
-			}
-		}
-	}
-	return buf
+	return m.canonicalStateUnder(nil, buf)
 }
 
 func appendWord(buf []byte, v uint64) []byte {
@@ -177,8 +141,12 @@ func appendWord(buf []byte, v uint64) []byte {
 // called from the controller goroutine only.
 func (m *Machine) Fingerprint(seed uint64) Fingerprint {
 	m.fpScratch = m.CanonicalState(m.fpScratch[:0])
+	return hashBuf(seed, m.fpScratch)
+}
+
+// hashBuf hashes a canonical-state encoding under the given seed.
+func hashBuf(seed uint64, buf []byte) Fingerprint {
 	h := newStateHasher(seed)
-	buf := m.fpScratch
 	for len(buf) >= 8 {
 		h.word(uint64(buf[0]) | uint64(buf[1])<<8 | uint64(buf[2])<<16 | uint64(buf[3])<<24 |
 			uint64(buf[4])<<32 | uint64(buf[5])<<40 | uint64(buf[6])<<48 | uint64(buf[7])<<56)

@@ -92,6 +92,10 @@ type Machine struct {
 	wakeScratch []int
 	// fpScratch is a reused buffer for Fingerprint's canonical encoding.
 	fpScratch []byte
+	// symFor/symCache memoize the compiled symmetry declaration (see
+	// symPerms); the cell layout is sealed, so compilation never goes stale.
+	symFor   *Symmetry
+	symCache []symPerm
 	// obs, when non-nil, is streamed every recorded event (see SetObserver).
 	// The disabled path is a single nil check per event.
 	obs Observer
