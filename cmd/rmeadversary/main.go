@@ -34,6 +34,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"rme/internal/adversary"
 	"rme/internal/algorithms/clh"
@@ -50,6 +51,7 @@ import (
 	"rme/internal/engine"
 	"rme/internal/faults"
 	"rme/internal/mutex"
+	"rme/internal/perflog"
 	"rme/internal/sim"
 	"rme/internal/telemetry"
 	"rme/internal/trace"
@@ -96,8 +98,14 @@ func run(args []string) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	tele := cliutil.TelemetryFlags(fs)
+	ledger := cliutil.LedgerFlags(fs)
+	version := cliutil.VersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(cliutil.VersionString("rmeadversary"))
+		return nil
 	}
 	if _, err := trace.ParseFormat(*traceFormat); err != nil {
 		return err
@@ -135,13 +143,14 @@ func run(args []string) error {
 		fmt.Fprintln(os.Stderr, "note: the adversary construction is fully deterministic; -seed has no effect")
 	}
 	if *sweep != "" {
-		err := runSweep(alg, *sweep, *w, model, *k, *parallel, tele.Registry())
+		err := runSweep(alg, *sweep, *w, model, *k, *parallel, tele, ledger)
 		if herr := cliutil.WriteHeapProfile(*memProfile); err == nil {
 			err = herr
 		}
 		return err
 	}
 
+	constructionStart := time.Now()
 	adv, err := adversary.New(adversary.Config{
 		Session: mutex.Config{
 			Procs: *n, Width: word.Width(*w), Model: model, Algorithm: alg,
@@ -203,14 +212,39 @@ func run(args []string) error {
 		return fmt.Errorf("%d invariant violations", len(rep.InvariantViolations))
 	}
 	fmt.Printf("invariant audit:    clean\n")
-	return nil
+	m := advManifest(alg.Name(), rep.Procs, *w, model, *k, rep)
+	m.Sample("wall_ms", float64(time.Since(constructionStart).Microseconds())/1000)
+	return ledger.Emit(tele.Registry(), m)
+}
+
+// advManifest builds one construction's perf-ledger entry. The construction
+// is fully deterministic, so every outcome statistic is an exactly-gateable
+// counter. Single-construction runs and sweep rows share the same config
+// shape (alg, n, w, model, k): a sweep baseline gates later single runs.
+func advManifest(alg string, n, w int, model sim.Model, k int, rep *adversary.Report) *perflog.Manifest {
+	m := perflog.New("rmeadversary")
+	m.SetConfig("alg", alg)
+	m.SetConfig("n", n)
+	m.SetConfig("w", w)
+	m.SetConfig("model", model)
+	m.SetConfig("k", k)
+	m.Counter("viable_rounds", int64(rep.ViableRounds))
+	m.Counter("forced_rmrs", int64(rep.ForcedRMRs()))
+	m.Counter("survivors", int64(len(rep.Survivors)))
+	m.Counter("hiding_wins", int64(rep.HidingWins))
+	m.Counter("hiding_attempts", int64(rep.HidingAttempts))
+	m.Counter("replays", int64(rep.Replays))
+	m.Counter("rollbacks", int64(rep.RemovalRollbacks))
+	m.Counter("violations", int64(len(rep.InvariantViolations)))
+	return m
 }
 
 // runSweep runs one adversary construction per listed n in parallel and
 // prints summary rows in list order. The shared registry accumulates round
 // statistics across all constructions (atomics make that safe); the printed
 // table is unaffected.
-func runSweep(alg mutex.Algorithm, sweep string, w int, model sim.Model, k, parallel int, reg *telemetry.Registry) error {
+func runSweep(alg mutex.Algorithm, sweep string, w int, model sim.Model, k, parallel int, tele *cliutil.Telemetry, ledger *cliutil.Ledger) error {
+	reg := tele.Registry()
 	var ns []int
 	for _, tok := range strings.Split(sweep, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(tok))
@@ -258,5 +292,9 @@ func runSweep(alg mutex.Algorithm, sweep string, w int, model sim.Model, k, para
 		return fmt.Errorf("%d invariant violations across sweep", violations)
 	}
 	fmt.Printf("\ninvariant audit:    clean\n")
-	return nil
+	ms := make([]*perflog.Manifest, len(ns))
+	for i, n := range ns {
+		ms[i] = advManifest(alg.Name(), n, w, model, k, reps[i])
+	}
+	return ledger.Emit(reg, ms...)
 }

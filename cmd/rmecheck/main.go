@@ -11,6 +11,11 @@
 //	         [-trace FILE] [-traceformat jsonl|chrome] [-top N]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //	         [-heartbeat DUR] [-metrics FILE] [-debugaddr ADDR]
+//	         [-ledger runs/ledger.jsonl] [-runlabel LABEL] [-version]
+//
+// -ledger appends a perf-ledger manifest (semantic config digest plus the
+// run's deterministic counters) after a clean check, for cross-run
+// regression gating via cmd/rmereport.
 //
 // -heartbeat prints live search progress (states or schedules per second,
 // memo-hit and replay ratios, ETA against the state budget) to stderr;
@@ -62,6 +67,7 @@ import (
 	"rme/internal/check"
 	"rme/internal/cliutil"
 	"rme/internal/mutex"
+	"rme/internal/perflog"
 	"rme/internal/sim"
 	"rme/internal/telemetry"
 	"rme/internal/trace"
@@ -110,19 +116,20 @@ func toReport(res *check.Result) searchReport {
 
 // jsonReport is the complete -json document.
 type jsonReport struct {
-	Algorithm  string        `json:"algorithm"`
-	Procs      int           `json:"procs"`
-	Width      int           `json:"width"`
-	Model      string        `json:"model"`
-	Crashes    int           `json:"crashes"`
-	Memo       bool          `json:"memo"`
-	POR        bool          `json:"por"`
-	Symmetry   bool          `json:"symmetry"`
-	SharedSet  bool          `json:"sharedset"`
-	WaveSize   int           `json:"wave,omitempty"`
-	Exhaustive searchReport  `json:"exhaustive"`
-	Stress     *searchReport `json:"stress,omitempty"`
-	OK         bool          `json:"ok"`
+	Algorithm  string             `json:"algorithm"`
+	Procs      int                `json:"procs"`
+	Width      int                `json:"width"`
+	Model      string             `json:"model"`
+	Crashes    int                `json:"crashes"`
+	Memo       bool               `json:"memo"`
+	POR        bool               `json:"por"`
+	Symmetry   bool               `json:"symmetry"`
+	SharedSet  bool               `json:"sharedset"`
+	WaveSize   int                `json:"wave,omitempty"`
+	Exhaustive searchReport       `json:"exhaustive"`
+	Stress     *searchReport      `json:"stress,omitempty"`
+	OK         bool               `json:"ok"`
+	Provenance perflog.Provenance `json:"provenance"`
 }
 
 func run(args []string) error {
@@ -133,7 +140,7 @@ func run(args []string) error {
 	modelName := fs.String("model", "cc", "cost model: cc or dsm")
 	crashes := fs.Int("crashes", 1, "crash steps per process to branch over (recoverable algorithms)")
 	maxSched := fs.Int("max", 50_000, "exhaustive schedule cap")
-	stress := fs.Int("stress", 200, "randomized stress seeds (0 to skip)")
+	stressN := fs.Int("stress", 200, "randomized stress seeds (0 to skip)")
 	parallel := fs.Int("parallel", 0, "search/stress workers (0 = GOMAXPROCS); results are identical at any value")
 	seed := fs.Int64("seed", 0, "offset for the stress schedule seeds (0 = the default sample)")
 	memo := fs.Bool("memo", true, "memoize visited canonical states (fingerprint pruning)")
@@ -154,8 +161,14 @@ func run(args []string) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	tele := cliutil.TelemetryFlags(fs)
+	ledger := cliutil.LedgerFlags(fs)
+	version := cliutil.VersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(cliutil.VersionString("rmecheck"))
+		return nil
 	}
 	if _, err := trace.ParseFormat(*traceFormat); err != nil {
 		return err
@@ -212,14 +225,50 @@ func run(args []string) error {
 		}
 	}
 
+	// The semantic configuration for the perf ledger: every flag that shapes
+	// the Result (including -snapshot, which moves work between machine and
+	// replay steps), never the execution layout (-parallel), spill plumbing
+	// (-membudget, -spilldir, -resume — results are byte-identical with or
+	// without spilling), or observability flags.
+	newManifest := func(exh, stress *check.Result, wallMS float64) *perflog.Manifest {
+		m := perflog.New("rmecheck")
+		m.SetConfig("alg", alg.Name())
+		m.SetConfig("n", *n)
+		m.SetConfig("w", *w)
+		m.SetConfig("model", model)
+		m.SetConfig("crashes", *crashes)
+		m.SetConfig("max", *maxSched)
+		m.SetConfig("stress", *stressN)
+		m.SetConfig("seed", *seed)
+		m.SetConfig("memo", *memo)
+		m.SetConfig("por", *por)
+		m.SetConfig("symmetry", *symmetry)
+		m.SetConfig("snapshot", *snapshot)
+		m.SetConfig("maxstates", *maxStates)
+		m.SetConfig("sharedset", *sharedSet)
+		m.SetConfig("wave", *wave)
+		m.SetConfig("maxwaves", *maxWaves)
+		resultCounters(m, "", exh)
+		if stress != nil {
+			resultCounters(m, "stress_", stress)
+		}
+		m.Sample("wall_ms", wallMS)
+		return m
+	}
+
+	checkStart := time.Now()
 	if *jsonOut {
-		err := runJSON(cfg, alg.Name(), model, *crashes, *stress, *sharedSet, *wave)
+		exh, stress, err := runJSON(cfg, alg.Name(), model, *crashes, *stressN, *sharedSet, *wave)
 		// The heap profile is written even when the check failed: profiling a
 		// run that found a violation is still profiling.
 		if herr := cliutil.WriteHeapProfile(*memProfile); err == nil {
 			err = herr
 		}
-		return err
+		if err != nil {
+			return err
+		}
+		wall := float64(time.Since(checkStart).Microseconds()) / 1000
+		return ledger.Emit(tele.Registry(), newManifest(exh, stress, wall))
 	}
 
 	fmt.Printf("exhaustive: %s n=%d w=%d model=%s crashes<=%d memo=%v por=%v symmetry=%v\n",
@@ -245,19 +294,44 @@ func run(args []string) error {
 		return err
 	}
 
-	if *stress > 0 {
-		fmt.Printf("stress: %d random schedules with crash injection\n", *stress)
-		res, err := check.Stress(cfg, *stress, 0.05)
+	var stressRes *check.Result
+	if *stressN > 0 {
+		fmt.Printf("stress: %d random schedules with crash injection\n", *stressN)
+		sres, err := check.Stress(cfg, *stressN, 0.05)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %d complete\n", res.Complete)
-		if err := report(res); err != nil {
+		stressRes = sres
+		fmt.Printf("  %d complete\n", sres.Complete)
+		if err := report(sres); err != nil {
 			return err
 		}
 	}
 	fmt.Println("OK")
-	return cliutil.WriteHeapProfile(*memProfile)
+	if err := cliutil.WriteHeapProfile(*memProfile); err != nil {
+		return err
+	}
+	wall := float64(time.Since(checkStart).Microseconds()) / 1000
+	return ledger.Emit(tele.Registry(), newManifest(res, stressRes, wall))
+}
+
+// resultCounters records one search phase's deterministic counters, prefixed
+// so exhaustive and stress phases share a manifest without colliding.
+func resultCounters(m *perflog.Manifest, prefix string, res *check.Result) {
+	m.Counter(prefix+"complete", int64(res.Complete))
+	m.Counter(prefix+"depth_truncated", int64(res.DepthTruncated))
+	m.Counter(prefix+"states_visited", int64(res.StatesVisited))
+	m.Counter(prefix+"states_pruned", int64(res.StatesPruned))
+	m.Counter(prefix+"shared_pruned", int64(res.SharedPruned))
+	m.Counter(prefix+"sleep_pruned", int64(res.SleepPruned))
+	m.Counter(prefix+"waves", int64(res.Waves))
+	m.Counter(prefix+"machine_steps", res.MachineSteps)
+	m.Counter(prefix+"replay_steps", res.ReplaySteps)
+	truncated := int64(0)
+	if res.Truncated {
+		truncated = 1
+	}
+	m.Counter(prefix+"truncated", truncated)
 }
 
 // telemetryView is the checker's heartbeat layout: with memoization the
@@ -297,27 +371,30 @@ func telemetryView(memo, sharedSet bool) telemetry.View {
 	return v
 }
 
-// runJSON runs the same phases as the text path but emits one JSON document.
-func runJSON(cfg check.Config, algName string, model sim.Model, crashes, stress int, sharedSet bool, wave int) error {
+// runJSON runs the same phases as the text path but emits one JSON document,
+// returning both phases' results for the perf ledger.
+func runJSON(cfg check.Config, algName string, model sim.Model, crashes, stress int, sharedSet bool, wave int) (*check.Result, *check.Result, error) {
 	res, err := check.Exhaustive(cfg)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	doc := jsonReport{
 		Algorithm: algName, Procs: cfg.Session.Procs, Width: int(cfg.Session.Width),
 		Model: model.String(), Crashes: crashes, Memo: cfg.Memo || sharedSet, POR: cfg.POR,
 		Symmetry: cfg.Symmetry, SharedSet: sharedSet,
-		Exhaustive: toReport(res), OK: res.Ok(),
+		Exhaustive: toReport(res), OK: res.Ok(), Provenance: perflog.Build(),
 	}
 	if sharedSet {
 		doc.WaveSize = wave
 	}
 	firstErr := res.Err()
+	var stressRes *check.Result
 	if stress > 0 {
 		sres, err := check.Stress(cfg, stress, 0.05)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
+		stressRes = sres
 		sr := toReport(sres)
 		doc.Stress = &sr
 		doc.OK = doc.OK && sres.Ok()
@@ -328,9 +405,9 @@ func runJSON(cfg check.Config, algName string, model sim.Model, crashes, stress 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
-		return err
+		return nil, nil, err
 	}
-	return firstErr
+	return res, stressRes, firstErr
 }
 
 // traceReference runs the checked configuration crash-free round-robin on a

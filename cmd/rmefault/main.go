@@ -50,6 +50,7 @@ import (
 	"rme/internal/cliutil"
 	"rme/internal/faults"
 	"rme/internal/mutex"
+	"rme/internal/perflog"
 	"rme/internal/sim"
 	"rme/internal/telemetry"
 	"rme/internal/trace"
@@ -97,8 +98,14 @@ func run(args []string) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	tele := cliutil.TelemetryFlags(fs)
+	ledger := cliutil.LedgerFlags(fs)
+	version := cliutil.VersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(cliutil.VersionString("rmefault"))
+		return nil
 	}
 	if _, err := trace.ParseFormat(*traceFormat); err != nil {
 		return err
@@ -159,7 +166,40 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	wallMS := float64(time.Since(start).Microseconds()) / 1000
 	fmt.Fprintf(os.Stderr, "campaign: %d runs in %v\n", rep.Runs, time.Since(start).Round(time.Millisecond))
+
+	// Perf-ledger manifest: the campaign is a pure function of these flags, so
+	// every counter below is exactly gateable. -failfast stays in the config
+	// (it changes which runs execute); -parallel and observability flags do
+	// not.
+	emitLedger := func() error {
+		m := perflog.New("rmefault")
+		m.SetConfig("alg", alg.Name())
+		m.SetConfig("n", *n)
+		m.SetConfig("w", *w)
+		m.SetConfig("model", model)
+		m.SetConfig("passes", *passes)
+		m.SetConfig("seed", *seed)
+		m.SetConfig("sources", *sourcesFlag)
+		m.SetConfig("runs", *runs)
+		m.SetConfig("budget", *budget)
+		m.SetConfig("bound", *bound)
+		m.SetConfig("noshrink", *noShrink)
+		m.SetConfig("failfast", *failFast)
+		m.Counter("runs", int64(rep.Runs))
+		m.Counter("skipped", int64(rep.Skipped))
+		m.Counter("failures", int64(len(rep.Failures)))
+		m.Counter("probe_steps", int64(rep.Probe.Steps))
+		m.Counter("probe_rmr_steps", int64(len(rep.Probe.RMRAt)))
+		m.Counter("bound", int64(rep.Bound))
+		for _, st := range rep.Sources {
+			m.Counter("src_"+st.Name+"_runs", int64(st.Runs))
+			m.Counter("src_"+st.Name+"_failures", int64(st.Failures))
+		}
+		m.Sample("wall_ms", wallMS)
+		return ledger.Emit(tele.Registry(), m)
+	}
 
 	if *tracePath != "" || *top > 0 {
 		runs, err := tracedReplays(rep)
@@ -177,7 +217,10 @@ func run(args []string) error {
 	}
 
 	if *jsonOut {
-		return emitJSON(rep, model)
+		if err := emitJSON(rep, model); err != nil {
+			return err
+		}
+		return emitLedger()
 	}
 	fmt.Printf("campaign: %s n=%d w=%d model=%s passes=%d seed=%d\n",
 		rep.Algorithm, *n, *w, model, *passes, rep.Seed)
@@ -196,7 +239,7 @@ func run(args []string) error {
 		return fmt.Errorf("%d of %d runs failed", len(rep.Failures), rep.Runs)
 	}
 	fmt.Println("OK")
-	return nil
+	return emitLedger()
 }
 
 // tracedReplays re-executes the campaign's interesting schedules — each
@@ -278,37 +321,39 @@ type jsonFailure struct {
 }
 
 type jsonReport struct {
-	Algorithm string              `json:"algorithm"`
-	Procs     int                 `json:"n"`
-	Width     int                 `json:"w"`
-	Model     string              `json:"model"`
-	Passes    int                 `json:"passes"`
-	Seed      int64               `json:"seed"`
-	Bound     int                 `json:"bound"`
-	ProbeLen  int                 `json:"probe_steps"`
-	ProbeRMRs int                 `json:"probe_rmr_steps"`
-	Runs      int                 `json:"runs"`
-	Skipped   int                 `json:"skipped,omitempty"`
-	Ok        bool                `json:"ok"`
-	Sources   []faults.SourceStat `json:"sources"`
-	Failures  []jsonFailure       `json:"failures,omitempty"`
+	Algorithm  string              `json:"algorithm"`
+	Procs      int                 `json:"n"`
+	Width      int                 `json:"w"`
+	Model      string              `json:"model"`
+	Passes     int                 `json:"passes"`
+	Seed       int64               `json:"seed"`
+	Bound      int                 `json:"bound"`
+	ProbeLen   int                 `json:"probe_steps"`
+	ProbeRMRs  int                 `json:"probe_rmr_steps"`
+	Runs       int                 `json:"runs"`
+	Skipped    int                 `json:"skipped,omitempty"`
+	Ok         bool                `json:"ok"`
+	Sources    []faults.SourceStat `json:"sources"`
+	Failures   []jsonFailure       `json:"failures,omitempty"`
+	Provenance perflog.Provenance  `json:"provenance"`
 }
 
 func emitJSON(rep *faults.Report, model sim.Model) error {
 	out := jsonReport{
-		Algorithm: rep.Algorithm,
-		Procs:     rep.Cfg.Procs,
-		Width:     int(rep.Cfg.Width),
-		Model:     model.String(),
-		Passes:    rep.Cfg.Passes,
-		Seed:      rep.Seed,
-		Bound:     rep.Bound,
-		ProbeLen:  rep.Probe.Steps,
-		ProbeRMRs: len(rep.Probe.RMRAt),
-		Runs:      rep.Runs,
-		Skipped:   rep.Skipped,
-		Ok:        rep.Ok(),
-		Sources:   rep.Sources,
+		Algorithm:  rep.Algorithm,
+		Procs:      rep.Cfg.Procs,
+		Width:      int(rep.Cfg.Width),
+		Model:      model.String(),
+		Passes:     rep.Cfg.Passes,
+		Seed:       rep.Seed,
+		Bound:      rep.Bound,
+		ProbeLen:   rep.Probe.Steps,
+		ProbeRMRs:  len(rep.Probe.RMRAt),
+		Runs:       rep.Runs,
+		Skipped:    rep.Skipped,
+		Ok:         rep.Ok(),
+		Sources:    rep.Sources,
+		Provenance: perflog.Build(),
 	}
 	for _, f := range rep.Failures {
 		out.Failures = append(out.Failures, jsonFailure{

@@ -47,6 +47,7 @@ import (
 
 	"rme/internal/cliutil"
 	"rme/internal/mutex"
+	"rme/internal/perflog"
 	"rme/internal/sim"
 	"rme/internal/telemetry"
 	"rme/internal/word"
@@ -106,14 +107,40 @@ type pointRecord struct {
 // nativeReport is the top-level JSON document (also embedded by -merge
 // under the "native" key of an rmrbench report).
 type nativeReport struct {
-	Width       word.Width    `json:"width"`
-	Passes      int           `json:"passes"`
-	Warmup      int           `json:"warmup"`
-	CrashEvery  int           `json:"crash_every,omitempty"`
-	NumCPU      int           `json:"num_cpu"`
-	GoVersion   string        `json:"go_version"`
-	TotalWallMS float64       `json:"total_wall_ms"`
-	Points      []pointRecord `json:"points"`
+	Width       word.Width         `json:"width"`
+	Passes      int                `json:"passes"`
+	Warmup      int                `json:"warmup"`
+	CrashEvery  int                `json:"crash_every,omitempty"`
+	NumCPU      int                `json:"num_cpu"`
+	GoVersion   string             `json:"go_version"`
+	Provenance  perflog.Provenance `json:"provenance"`
+	TotalWallMS float64            `json:"total_wall_ms"`
+	Points      []pointRecord      `json:"points"`
+}
+
+// pointManifest builds one sweep point's perf-ledger entry. Only the
+// simulator-side correlation columns are deterministic counters; everything
+// the hardware produced (throughput, latencies, crash counts) is advisory
+// wall data by construction.
+func pointManifest(pt pointRecord, w word.Width, warmup, crashEvery int, noSim bool) *perflog.Manifest {
+	m := perflog.New("rmenative")
+	m.SetConfig("alg", pt.Alg)
+	m.SetConfig("procs", pt.Procs)
+	m.SetConfig("width", int(w))
+	m.SetConfig("passes", pt.Passes)
+	m.SetConfig("warmup", warmup)
+	m.SetConfig("crashevery", crashEvery)
+	m.SetConfig("nosim", noSim)
+	if !noSim {
+		m.Counter("sim_cc_rmr_max", int64(pt.SimCCRMRPerPassageMax))
+		m.Counter("sim_cc_rmr_avg_x100", int64(pt.SimCCRMRPerPassageAvg*100+0.5))
+	}
+	m.Sample("wall_ms", pt.WallMS)
+	m.Sample("throughput_per_sec", pt.ThroughputPerSec)
+	m.Sample("p50_ns", float64(pt.Latency.P50NS))
+	m.Sample("p99_ns", float64(pt.Latency.P99NS))
+	m.Sample("crashes", float64(pt.Crashes))
+	return m
 }
 
 func run(args []string) error {
@@ -132,8 +159,14 @@ func run(args []string) error {
 	mergePath := fs.String("merge", "",
 		"merge the report into an existing rmrbench JSON report under the \"native\" key")
 	tele := cliutil.TelemetryFlags(fs)
+	ledger := cliutil.LedgerFlags(fs)
+	version := cliutil.VersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(cliutil.VersionString("rmenative"))
+		return nil
 	}
 	algs, err := parseAlgs(*algsFlag)
 	if err != nil {
@@ -163,6 +196,7 @@ func run(args []string) error {
 		CrashEvery: *crashEvery,
 		NumCPU:     runtime.NumCPU(),
 		GoVersion:  runtime.Version(),
+		Provenance: perflog.Build(),
 	}
 	prevMaxProcs := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prevMaxProcs)
@@ -215,7 +249,11 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "merged native series into %s\n", *mergePath)
 	}
-	return nil
+	ms := make([]*perflog.Manifest, 0, len(report.Points))
+	for _, pt := range report.Points {
+		ms = append(ms, pointManifest(pt, w, *warmup, *crashEvery, *noSim))
+	}
+	return ledger.Emit(tele.Registry(), ms...)
 }
 
 // runPoint measures one (algorithm, n) configuration with GOMAXPROCS=n.

@@ -1,0 +1,475 @@
+// Command rmereport reads the JSONL performance ledgers the other tools'
+// -ledger flags append (see internal/perflog) and turns them into cross-run
+// observability: benchstat-style comparisons, metric trajectories, and a
+// regression gate.
+//
+//	rmereport compare [-format text|markdown|json] [-alpha 0.05] OLD NEW
+//	rmereport history -metric NAME [-tool T] [-label L] [-format text|markdown|json] LEDGER
+//	rmereport regress -baseline BASE [-alpha 0.05] LEDGER
+//	rmereport -version
+//
+// Runs match across ledgers iff (tool, semantic-config digest) match, so a
+// baseline recorded from a full sweep still gates a CI rerun of any subset
+// of the same configurations.
+//
+// The split between gated and advisory metrics is the tool's whole point:
+// deterministic counters (RMR totals, machine steps, states visited — the
+// quantities the paper's word-size tradeoffs are about) must be exactly
+// equal between matched runs, and regress exits 1 naming the metric, both
+// values, and the offending run's config digest on any drift. Wall-clock
+// samples are compared statistically (median + Mann-Whitney U) and are
+// always advisory: on a 1-CPU builder, timing deltas are noise, counter
+// deltas are code changes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"rme/internal/perflog"
+	"rme/internal/perfstat"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rmereport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: rmereport compare|history|regress [flags] FILE...")
+	}
+	switch args[0] {
+	case "compare":
+		return runCompare(args[1:])
+	case "history":
+		return runHistory(args[1:])
+	case "regress":
+		return runRegress(args[1:])
+	case "-version", "version":
+		fmt.Println("rmereport", perflog.Build().Short())
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q (want compare, history or regress)", args[0])
+	}
+}
+
+// group buckets manifests by matching key, preserving first-seen order.
+func group(ms []*perflog.Manifest) (keys []string, byKey map[string][]*perflog.Manifest) {
+	byKey = map[string][]*perflog.Manifest{}
+	for _, m := range ms {
+		k := m.Key()
+		if _, ok := byKey[k]; !ok {
+			keys = append(keys, k)
+		}
+		byKey[k] = append(byKey[k], m)
+	}
+	return keys, byKey
+}
+
+// configLine renders a manifest's semantic config compactly and
+// deterministically: sorted "k=v" pairs.
+func configLine(m *perflog.Manifest) string {
+	keys := make([]string, 0, len(m.Config))
+	for k := range m.Config {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + m.Config[k]
+	}
+	return strings.Join(parts, " ")
+}
+
+func short(digest string) string {
+	if len(digest) > 12 {
+		return digest[:12]
+	}
+	if digest == "" {
+		return "-"
+	}
+	return digest
+}
+
+// wallSamples collects one advisory metric's sample set across a group.
+func wallSamples(ms []*perflog.Manifest, metric string) []float64 {
+	var out []float64
+	for _, m := range ms {
+		if v, ok := m.Wall[metric]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// wallMetrics returns the union of advisory metric names across both
+// groups, sorted.
+func wallMetrics(groups ...[]*perflog.Manifest) []string {
+	seen := map[string]bool{}
+	for _, g := range groups {
+		for _, m := range g {
+			for name := range m.Wall {
+				seen[name] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func pString(p float64) string {
+	if math.IsNaN(p) {
+		return "p=n/a"
+	}
+	return fmt.Sprintf("p=%.3f", p)
+}
+
+func deltaString(pct float64) string {
+	if math.IsNaN(pct) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", pct)
+}
+
+// ---------------------------------------------------------------- compare
+
+// groupComparison is one matched configuration's full comparison (also the
+// JSON shape).
+type groupComparison struct {
+	Tool     string               `json:"tool"`
+	Config   map[string]string    `json:"config"`
+	Digest   string               `json:"config_digest"`
+	Counters []perfstat.Delta     `json:"counters,omitempty"`
+	Wall     []perfstat.WallDelta `json:"wall,omitempty"`
+}
+
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("rmereport compare", flag.ContinueOnError)
+	format := fs.String("format", "text", "output: text, markdown or json")
+	alpha := fs.Float64("alpha", 0.05, "significance level for wall-clock shifts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: rmereport compare [-format text|markdown|json] [-alpha A] OLD NEW")
+	}
+	old, err := perflog.Read(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := perflog.Read(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	oldKeys, oldBy := group(old)
+	_, curBy := group(cur)
+
+	var groups []groupComparison
+	matched := 0
+	for _, k := range oldKeys {
+		curG, ok := curBy[k]
+		if !ok {
+			continue
+		}
+		matched++
+		oldG := oldBy[k]
+		// Counters are deterministic, so within a ledger every entry of the
+		// key carries the same set; the latest entry represents each side.
+		rep := oldG[len(oldG)-1]
+		g := groupComparison{
+			Tool:     rep.Tool,
+			Config:   rep.Config,
+			Digest:   rep.ConfigDigest,
+			Counters: perfstat.DiffCounters(rep.Counters, curG[len(curG)-1].Counters),
+		}
+		for _, metric := range wallMetrics(oldG, curG) {
+			g.Wall = append(g.Wall, perfstat.CompareWall(metric, wallSamples(oldG, metric), wallSamples(curG, metric)))
+		}
+		groups = append(groups, g)
+	}
+
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Old     string            `json:"old"`
+			New     string            `json:"new"`
+			Matched int               `json:"matched"`
+			Groups  []groupComparison `json:"groups"`
+		}{fs.Arg(0), fs.Arg(1), matched, groups})
+	case "markdown":
+		fmt.Printf("| config | metric | old | new | delta | significance |\n")
+		fmt.Printf("|---|---|---|---|---|---|\n")
+		for _, g := range groups {
+			name := fmt.Sprintf("%s `%s`", g.Tool, short(g.Digest))
+			for _, d := range g.Counters {
+				if !d.Drift() {
+					continue
+				}
+				fmt.Printf("| %s | %s | %s | %s | drift | gated |\n",
+					name, d.Metric, counterSide(d.Old, d.OldOK), counterSide(d.New, d.NewOK))
+			}
+			for _, w := range g.Wall {
+				sig := "~"
+				if w.Significant(*alpha) {
+					sig = pString(w.P)
+				}
+				fmt.Printf("| %s | %s | %.4g (n=%d) | %.4g (n=%d) | %s | %s |\n",
+					name, w.Metric, w.Old.Median, w.Old.N, w.New.Median, w.New.N,
+					deltaString(w.DeltaPct), sig)
+			}
+		}
+		return nil
+	case "text":
+		fmt.Printf("compare: %s (%d runs) vs %s (%d runs), %d matched configurations\n",
+			fs.Arg(0), len(old), fs.Arg(1), len(cur), matched)
+		for _, g := range groups {
+			rep := oldBy[g.Tool+":"+g.Digest][0]
+			fmt.Printf("\n=== %s %s (digest %s)\n", g.Tool, configLine(rep), short(g.Digest))
+			drifts := 0
+			for _, d := range g.Counters {
+				if d.Drift() {
+					drifts++
+					fmt.Printf("  counter %-28s %s -> %s  DRIFT\n",
+						d.Metric, counterSide(d.Old, d.OldOK), counterSide(d.New, d.NewOK))
+				}
+			}
+			if drifts == 0 {
+				fmt.Printf("  counters: %d exact-match\n", len(g.Counters))
+			}
+			for _, w := range g.Wall {
+				marker := "~"
+				if w.Significant(*alpha) {
+					marker = "!"
+				}
+				fmt.Printf("  wall %s %-26s %10.4g (n=%d) -> %10.4g (n=%d)  %8s  (%s, advisory)\n",
+					marker, w.Metric, w.Old.Median, w.Old.N, w.New.Median, w.New.N,
+					deltaString(w.DeltaPct), pString(w.P))
+			}
+		}
+		if matched == 0 {
+			fmt.Println("no matched configurations (tool + config digest must agree)")
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q (want text, markdown or json)", *format)
+	}
+}
+
+func counterSide(v int64, ok bool) string {
+	if !ok {
+		return "(absent)"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// ---------------------------------------------------------------- history
+
+// historyRow is one ledger entry's reading of the tracked metric.
+type historyRow struct {
+	Index  int    `json:"index"`
+	Tool   string `json:"tool"`
+	Label  string `json:"label,omitempty"`
+	Digest string `json:"config_digest"`
+	// Revision is the recorded VCS commit (with "+dirty" when applicable).
+	Revision string  `json:"revision,omitempty"`
+	Section  string  `json:"section"` // counters, wall, or telemetry
+	Value    float64 `json:"value"`
+}
+
+// lookupMetric resolves a metric name in a manifest: deterministic counters
+// first, then wall samples, then the telemetry snapshot.
+func lookupMetric(m *perflog.Manifest, name string) (float64, string, bool) {
+	if v, ok := m.Counters[name]; ok {
+		return float64(v), "counters", true
+	}
+	if v, ok := m.Wall[name]; ok {
+		return v, "wall", true
+	}
+	if v, ok := m.Telemetry[name]; ok {
+		return float64(v), "telemetry", true
+	}
+	return 0, "", false
+}
+
+func revString(p perflog.Provenance) string {
+	rev := p.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev == "" {
+		return "-"
+	}
+	if p.Dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+func runHistory(args []string) error {
+	fs := flag.NewFlagSet("rmereport history", flag.ContinueOnError)
+	metric := fs.String("metric", "", "metric to track (resolved in counters, then wall, then telemetry)")
+	tool := fs.String("tool", "", "restrict to runs of this tool")
+	label := fs.String("label", "", "restrict to runs with this -runlabel")
+	format := fs.String("format", "text", "output: text, markdown or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *metric == "" {
+		return fmt.Errorf("usage: rmereport history -metric NAME [-tool T] [-label L] [-format text|markdown|json] LEDGER")
+	}
+	ms, err := perflog.Read(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var rows []historyRow
+	for i, m := range ms {
+		if *tool != "" && m.Tool != *tool {
+			continue
+		}
+		if *label != "" && m.Label != *label {
+			continue
+		}
+		v, section, ok := lookupMetric(m, *metric)
+		if !ok {
+			continue
+		}
+		rows = append(rows, historyRow{
+			Index: i, Tool: m.Tool, Label: m.Label, Digest: m.ConfigDigest,
+			Revision: revString(m.Provenance), Section: section, Value: v,
+		})
+	}
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Ledger string       `json:"ledger"`
+			Metric string       `json:"metric"`
+			Rows   []historyRow `json:"rows"`
+		}{fs.Arg(0), *metric, rows})
+	case "markdown":
+		fmt.Printf("| run | tool | label | revision | digest | %s |\n", *metric)
+		fmt.Printf("|---|---|---|---|---|---|\n")
+		for _, r := range rows {
+			fmt.Printf("| %d | %s | %s | %s | `%s` | %.6g |\n",
+				r.Index, r.Tool, orDash(r.Label), r.Revision, short(r.Digest), r.Value)
+		}
+		return nil
+	case "text":
+		fmt.Printf("history: %s across %s (%d of %d runs carry it)\n\n", *metric, fs.Arg(0), len(rows), len(ms))
+		fmt.Printf("%-5s %-12s %-12s %-18s %-14s %14s\n", "run", "tool", "label", "revision", "digest", *metric)
+		for _, r := range rows {
+			fmt.Printf("%-5d %-12s %-12s %-18s %-14s %14.6g\n",
+				r.Index, r.Tool, orDash(r.Label), r.Revision, short(r.Digest), r.Value)
+		}
+		if len(rows) == 0 {
+			fmt.Println("(no run carries this metric under the given filters)")
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q (want text, markdown or json)", *format)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// ---------------------------------------------------------------- regress
+
+func runRegress(args []string) error {
+	fs := flag.NewFlagSet("rmereport regress", flag.ContinueOnError)
+	basePath := fs.String("baseline", "", "baseline ledger to gate against (required)")
+	alpha := fs.Float64("alpha", 0.05, "significance level for the advisory wall-clock report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *basePath == "" {
+		return fmt.Errorf("usage: rmereport regress -baseline BASE [-alpha A] LEDGER")
+	}
+	base, err := perflog.Read(*basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := perflog.Read(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	// The latest baseline entry per key is authoritative: the ledger is
+	// append-ordered, so a re-recorded baseline supersedes older entries.
+	baseByKey := map[string]*perflog.Manifest{}
+	for _, m := range base {
+		baseByKey[m.Key()] = m
+	}
+
+	drifts, gated, matched, unmatched := 0, 0, 0, 0
+	for _, m := range cur {
+		b, ok := baseByKey[m.Key()]
+		if !ok {
+			unmatched++
+			fmt.Printf("new: tool=%s digest=%s has no baseline entry (not gated)\n",
+				m.Tool, short(m.ConfigDigest))
+			continue
+		}
+		matched++
+		for _, d := range perfstat.DiffCounters(b.Counters, m.Counters) {
+			gated++
+			if !d.Drift() {
+				continue
+			}
+			drifts++
+			fmt.Printf("DRIFT: tool=%s metric=%s baseline=%s current=%s label=%s digest=%s\n",
+				m.Tool, d.Metric, counterSide(d.Old, d.OldOK), counterSide(d.New, d.NewOK),
+				orDash(m.Label), short(m.ConfigDigest))
+		}
+	}
+
+	// Advisory wall-clock report, one comparison per matched configuration.
+	curKeys, curBy := group(cur)
+	_, baseBy := group(base)
+	for _, k := range curKeys {
+		baseG, ok := baseBy[k]
+		if !ok {
+			continue
+		}
+		curG := curBy[k]
+		for _, metric := range wallMetrics(baseG, curG) {
+			w := perfstat.CompareWall(metric, wallSamples(baseG, metric), wallSamples(curG, metric))
+			marker := "~"
+			if w.Significant(*alpha) {
+				marker = "!"
+			}
+			fmt.Printf("wall %s tool=%s %s: %.4g -> %.4g (%s, %s, advisory)\n",
+				marker, curG[0].Tool, metric, w.Old.Median, w.New.Median,
+				deltaString(w.DeltaPct), pString(w.P))
+		}
+	}
+
+	fmt.Printf("regress: %d runs gated against %s (%d unmatched), %d deterministic counters compared, %d drifted\n",
+		matched, *basePath, unmatched, gated, drifts)
+	if drifts > 0 {
+		return fmt.Errorf("%d deterministic counter(s) drifted from the baseline", drifts)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no run in %s matched the baseline (nothing was gated)", fs.Arg(0))
+	}
+	fmt.Println("OK")
+	return nil
+}

@@ -35,6 +35,7 @@ import (
 
 	"rme"
 	"rme/internal/cliutil"
+	"rme/internal/perflog"
 	"rme/internal/service"
 	"rme/internal/sim"
 	"rme/internal/telemetry"
@@ -65,8 +66,14 @@ func run(args []string) error {
 	top := fs.Int("top", 0, "capture step traces and report the N hottest cells (expensive)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run")
 	tel := cliutil.TelemetryFlags(fs)
+	ledger := cliutil.LedgerFlags(fs)
+	version := cliutil.VersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(cliutil.VersionString("rmeserve"))
+		return nil
 	}
 
 	alg, err := rme.NewAlgorithm(*algName)
@@ -132,13 +139,61 @@ func run(args []string) error {
 	fmt.Fprintf(os.Stderr, "rmeserve: %d passages in %s (%.0f passages/sec)\n",
 		rep.Passages, wall.Round(time.Millisecond), float64(rep.Passages)/wall.Seconds())
 
+	emitLedger := func() error {
+		m := serveManifest(rep)
+		m.Sample("wall_ms", float64(wall.Microseconds())/1000)
+		m.Sample("passages_per_sec", float64(rep.Passages)/wall.Seconds())
+		return ledger.Emit(tel.Registry(), m)
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(rep)
+		// The embed keeps the report's field order and adds build provenance
+		// at the end, so existing consumers and the -parallel parity guarantee
+		// are untouched (both runs carry the same provenance).
+		if err := enc.Encode(struct {
+			*service.Report
+			Provenance perflog.Provenance `json:"provenance"`
+		}{rep, perflog.Build()}); err != nil {
+			return err
+		}
+		return emitLedger()
 	}
 	printReport(rep)
-	return nil
+	return emitLedger()
+}
+
+// serveManifest builds the run's perf-ledger entry. The whole report is a
+// pure function of seed and configuration, so every scalar — including the
+// latency and fairness quantiles, which are measured in machine steps, not
+// time — is an exactly-gateable counter. Jain's index is deterministic too;
+// it rides along scaled to re-enter the integer counter set.
+func serveManifest(rep *service.Report) *perflog.Manifest {
+	m := perflog.New("rmeserve")
+	m.SetConfig("locks", rep.Locks)
+	m.SetConfig("clients", rep.Clients)
+	m.SetConfig("passages", rep.TargetPassages)
+	m.SetConfig("dist", rep.Dist)
+	m.SetConfig("alg", rep.Algorithm)
+	m.SetConfig("model", rep.Model)
+	m.SetConfig("w", rep.Width)
+	m.SetConfig("slots", rep.Slots)
+	m.SetConfig("rate", rep.Rate)
+	m.SetConfig("seed", rep.Seed)
+	m.Counter("passages", rep.Passages)
+	m.Counter("rounds", rep.Rounds)
+	m.Counter("arrivals", rep.Arrivals)
+	m.Counter("pending", rep.Pending)
+	m.Counter("steps", rep.Steps)
+	m.Counter("rmr_cc", rep.RMRCC)
+	m.Counter("rmr_dsm", rep.RMRDSM)
+	m.Counter("latency_p50", rep.Latency.P50)
+	m.Counter("latency_p99", rep.Latency.P99)
+	m.Counter("latency_max", rep.Latency.Max)
+	m.Counter("fairness_clients_served", int64(rep.Fairness.ClientsServed))
+	m.Counter("fairness_p99", rep.Fairness.P99)
+	m.Counter("jain_x10000", int64(rep.Fairness.JainIndex*10000+0.5))
+	return m
 }
 
 // printReport renders the human-readable summary (deterministic).

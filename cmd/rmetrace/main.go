@@ -22,9 +22,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
+	"rme/internal/cliutil"
+	"rme/internal/perflog"
 	"rme/internal/sim"
 	"rme/internal/telemetry"
 	"rme/internal/trace"
@@ -48,8 +51,11 @@ func run(args []string) error {
 		return runConvert(args[1:])
 	case "metrics":
 		return runMetrics(args[1:])
+	case "version", "-version", "--version":
+		fmt.Println(cliutil.VersionString("rmetrace"))
+		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (want summarize, convert or metrics)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want summarize, convert, metrics or version)", args[0])
 	}
 }
 
@@ -80,11 +86,12 @@ func runSummarize(args []string) error {
 	fs := flag.NewFlagSet("rmetrace summarize", flag.ContinueOnError)
 	modelName := fs.String("model", "cc", "rank by RMRs under this cost model: cc or dsm")
 	top := fs.Int("top", 10, "rows per attribution table")
+	ledger := cliutil.LedgerFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: rmetrace summarize [-model cc|dsm] [-top N] FILE")
+		return fmt.Errorf("usage: rmetrace summarize [-model cc|dsm] [-top N] [-ledger FILE] FILE")
 	}
 	model := sim.CC
 	if strings.EqualFold(*modelName, "dsm") {
@@ -94,14 +101,34 @@ func runSummarize(args []string) error {
 	if err != nil {
 		return err
 	}
+	var totalEvents, totalSteps, totalCC, totalDSM int64
 	fmt.Printf("%d runs:\n", len(runs))
 	for _, r := range runs {
 		a := trace.Attribute(r.Events)
 		fmt.Printf("  run %d: %s (%s, n=%d) — %d events, %d steps, %d RMRs\n",
 			r.Index, r.Label, r.Model, r.Procs, a.Events, a.Steps, a.RMRs(r.Model))
+		totalEvents += int64(a.Events)
+		totalSteps += int64(a.Steps)
+		totalCC += int64(a.RMRCC)
+		totalDSM += int64(a.RMRDSM)
 	}
 	trace.WriteSummary(os.Stdout, trace.Merge(runs), model, *top)
-	return nil
+
+	// The summary is a pure function of the trace file, so the aggregate
+	// attribution totals are exactly-gateable counters for that file's
+	// contents. The file's base name identifies the artifact in the config
+	// (its directory is host layout, not semantics).
+	m := perflog.New("rmetrace")
+	m.SetConfig("subcommand", "summarize")
+	m.SetConfig("file", filepath.Base(fs.Arg(0)))
+	m.SetConfig("model", model)
+	m.SetConfig("top", *top)
+	m.Counter("runs", int64(len(runs)))
+	m.Counter("events", totalEvents)
+	m.Counter("steps", totalSteps)
+	m.Counter("rmr_cc", totalCC)
+	m.Counter("rmr_dsm", totalDSM)
+	return ledger.Emit(nil, m)
 }
 
 // runMetrics summarizes a telemetry JSONL stream: per-series first, min,

@@ -21,6 +21,12 @@
 //	         [-trace FILE] [-traceformat jsonl|chrome] [-top N]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //	         [-heartbeat DUR] [-metrics FILE] [-debugaddr ADDR]
+//	         [-ledger runs/ledger.jsonl] [-runlabel LABEL] [-version]
+//
+// The -json report merges into an existing file keyed by experiment id, so a
+// partial rerun (-only E2) updates only the experiments it ran. -ledger
+// appends one perf-ledger manifest per experiment (see internal/perflog and
+// cmd/rmereport) for cross-run regression gating.
 //
 // -heartbeat prints live engine statistics (runs/sec, worker utilization)
 // to stderr while the grids execute; -metrics appends JSONL metric
@@ -39,6 +45,7 @@ import (
 	"rme/internal/cliutil"
 	"rme/internal/engine"
 	"rme/internal/harness"
+	"rme/internal/perflog"
 	"rme/internal/sim"
 	"rme/internal/telemetry"
 	"rme/internal/trace"
@@ -66,7 +73,84 @@ type benchReport struct {
 	Parallel    int                `json:"parallel"`
 	Seed        int64              `json:"seed"`
 	TotalWallMS float64            `json:"total_wall_ms"`
+	Provenance  perflog.Provenance `json:"provenance"`
 	Experiments []experimentRecord `json:"experiments"`
+}
+
+// mergeResults folds the new report into an existing results file instead of
+// overwriting it: experiments union keyed by id (existing order kept, same-id
+// entries replaced, new ids appended), run scalars and provenance taken from
+// the new run, and unknown top-level keys (e.g. the native backend's section)
+// preserved untouched. A partial rerun (-only E2) therefore updates exactly
+// the experiments it ran. Mirrors rmenative -merge.
+func mergeResults(existing []byte, report benchReport) ([]byte, error) {
+	doc := map[string]json.RawMessage{}
+	if len(existing) > 0 {
+		if err := json.Unmarshal(existing, &doc); err != nil {
+			return nil, fmt.Errorf("existing results: %w", err)
+		}
+	}
+	var old []experimentRecord
+	if raw, ok := doc["experiments"]; ok {
+		if err := json.Unmarshal(raw, &old); err != nil {
+			return nil, fmt.Errorf("existing experiments: %w", err)
+		}
+	}
+	newByID := make(map[string]int, len(report.Experiments))
+	for i, e := range report.Experiments {
+		newByID[e.ID] = i
+	}
+	merged := make([]experimentRecord, 0, len(old)+len(report.Experiments))
+	used := make(map[string]bool, len(newByID))
+	for _, e := range old {
+		if i, ok := newByID[e.ID]; ok {
+			merged = append(merged, report.Experiments[i])
+			used[e.ID] = true
+		} else {
+			merged = append(merged, e)
+		}
+	}
+	for _, e := range report.Experiments {
+		if !used[e.ID] {
+			merged = append(merged, e)
+		}
+	}
+	report.Experiments = merged
+
+	// Re-encode the merged report over the old document so unknown keys
+	// survive the round trip.
+	blob, err := json.Marshal(report)
+	if err != nil {
+		return nil, err
+	}
+	fresh := map[string]json.RawMessage{}
+	if err := json.Unmarshal(blob, &fresh); err != nil {
+		return nil, err
+	}
+	for k, v := range fresh {
+		doc[k] = v
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// manifest builds one experiment's perf-ledger entry. The semantic config is
+// the experiment's identity (id, sweep size, seed offset) — not the -only
+// list or -parallel — so a full baseline run gates a later subset rerun.
+func manifest(rec experimentRecord, full bool, seed int64) *perflog.Manifest {
+	m := perflog.New("rmrbench")
+	m.SetConfig("experiment", rec.ID)
+	m.SetConfig("full", full)
+	m.SetConfig("seed", seed)
+	m.Counter("runs", rec.Runs)
+	m.Counter("steps", rec.Steps)
+	m.Counter("max_rmr", rec.MaxRMR)
+	m.Counter("passages", rec.Passages)
+	m.Counter("tables", int64(rec.Tables))
+	// AvgMaxRMR is a deterministic ratio of two counters; scale to hold it in
+	// the exact-gated integer set.
+	m.Counter("avg_max_rmr_x100", int64(rec.AvgMaxRMR*100+0.5))
+	m.Sample("wall_ms", rec.WallMS)
+	return m
 }
 
 func run(args []string) error {
@@ -82,8 +166,14 @@ func run(args []string) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	tele := cliutil.TelemetryFlags(fs)
+	ledger := cliutil.LedgerFlags(fs)
+	version := cliutil.VersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(cliutil.VersionString("rmrbench"))
+		return nil
 	}
 	if _, err := trace.ParseFormat(*traceFormat); err != nil {
 		return err
@@ -114,7 +204,7 @@ func run(args []string) error {
 		}
 	}
 
-	report := benchReport{Full: *full, Parallel: engine.Parallelism(*parallel), Seed: *seed}
+	report := benchReport{Full: *full, Parallel: engine.Parallelism(*parallel), Seed: *seed, Provenance: perflog.Build()}
 	benchStart := time.Now()
 	for _, exp := range harness.All() {
 		if len(want) > 0 && !want[exp.ID] {
@@ -159,15 +249,24 @@ func run(args []string) error {
 	}
 
 	if *jsonPath != "" {
-		blob, err := json.MarshalIndent(report, "", "  ")
+		existing, err := os.ReadFile(*jsonPath)
+		if err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		blob, err := mergeResults(existing, report)
 		if err != nil {
 			return err
 		}
 		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s (%d experiments, %.0f ms total)\n",
+		fmt.Fprintf(os.Stderr, "wrote %s (%d experiments this run, %.0f ms total)\n",
 			*jsonPath, len(report.Experiments), report.TotalWallMS)
 	}
-	return nil
+
+	manifests := make([]*perflog.Manifest, 0, len(report.Experiments))
+	for _, rec := range report.Experiments {
+		manifests = append(manifests, manifest(rec, *full, *seed))
+	}
+	return ledger.Emit(tele.Registry(), manifests...)
 }

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"rme/internal/perflog"
 )
 
 // captureStdout runs fn with stdout redirected to a pipe and returns what it
@@ -165,6 +167,92 @@ func TestTracingDisabledNoRegression(t *testing.T) {
 	// hot (an order of magnitude), not against scheduler noise.
 	if got > 5*baseMS {
 		t.Errorf("tracing-disabled E2 took %.0f ms, baseline %.0f ms (>5x)", got, baseMS)
+	}
+}
+
+// TestJSONMergePreservesOtherExperiments locks in the -json merge semantics:
+// a second run restricted to one experiment must update that entry in place
+// and leave every other experiment — and unknown top-level sections like the
+// native backend's — untouched, instead of overwriting the file wholesale.
+func TestJSONMergePreservesOtherExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full experiment grids")
+	}
+	path := filepath.Join(t.TempDir(), "results.json")
+	seeded := []byte(`{
+  "experiments": [
+    {"id": "E6", "title": "stale", "wall_ms": 1, "tables": 0, "runs": 0, "steps": 0, "max_rmr": 0, "avg_max_rmr": 0},
+    {"id": "EX", "title": "kept", "wall_ms": 2, "tables": 3, "runs": 4, "steps": 5, "max_rmr": 6, "avg_max_rmr": 7}
+  ],
+  "native": {"points": [{"alg": "yatree"}]}
+}`)
+	if err := os.WriteFile(path, seeded, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureStdout(t, func() error {
+		return run([]string{"-only", "E6", "-json", path})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiments []struct {
+			ID    string `json:"id"`
+			Title string `json:"title"`
+			Runs  int64  `json:"runs"`
+		} `json:"experiments"`
+		Native map[string]json.RawMessage `json:"native"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Experiments) != 2 {
+		t.Fatalf("merge produced %d experiments, want 2: %s", len(doc.Experiments), blob)
+	}
+	if doc.Experiments[0].ID != "E6" || doc.Experiments[0].Title == "stale" || doc.Experiments[0].Runs == 0 {
+		t.Fatalf("E6 not replaced in place: %+v", doc.Experiments[0])
+	}
+	if doc.Experiments[1].ID != "EX" || doc.Experiments[1].Title != "kept" {
+		t.Fatalf("unrelated experiment clobbered: %+v", doc.Experiments[1])
+	}
+	if _, ok := doc.Native["points"]; !ok {
+		t.Fatalf("unknown top-level key dropped by merge: %s", blob)
+	}
+}
+
+// TestLedgerEmission checks the -ledger wiring end to end: one manifest per
+// experiment, rmrbench-shaped counters, and the -runlabel stamp.
+func TestLedgerEmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full experiment grid")
+	}
+	ledger := filepath.Join(t.TempDir(), "runs.jsonl")
+	if _, err := captureStdout(t, func() error {
+		return run([]string{"-only", "E6", "-json", "", "-ledger", ledger, "-runlabel", "unit"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := perflog.Read(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("want 1 manifest, got %d", len(ms))
+	}
+	m := ms[0]
+	if m.Tool != "rmrbench" || m.Label != "unit" || m.Config["experiment"] != "E6" {
+		t.Fatalf("manifest identity wrong: %+v", m)
+	}
+	for _, key := range []string{"runs", "steps", "max_rmr", "tables"} {
+		if m.Counters[key] == 0 {
+			t.Errorf("counter %s missing or zero: %+v", key, m.Counters)
+		}
+	}
+	if m.ConfigDigest == "" || m.Wall["wall_ms"] <= 0 {
+		t.Fatalf("digest or wall sample missing: %+v", m)
 	}
 }
 

@@ -1,0 +1,68 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rme/internal/perflog"
+	"rme/internal/telemetry"
+)
+
+// Ledger bundles the shared perf-ledger flags (-ledger, -runlabel) every
+// cmd/ main registers. Like the Telemetry bundle, it is strictly off the
+// result path: the flags decide only whether a run manifest is appended to a
+// JSONL ledger after the run, never what the run computes, so all -json
+// parity guarantees hold with the ledger on or off.
+type Ledger struct {
+	// Path is the JSONL ledger file to append run manifests to ("" = off).
+	Path string
+	// Label tags the appended manifests (free-form; excluded from run
+	// identity so a relabelled rerun still matches its baseline).
+	Label string
+}
+
+// LedgerFlags registers the shared flags on fs and returns the holder to
+// Emit after the run.
+func LedgerFlags(fs *flag.FlagSet) *Ledger {
+	l := &Ledger{}
+	fs.StringVar(&l.Path, "ledger", "",
+		"append run manifests (config digest, deterministic counters, wall samples) to this JSONL perf ledger")
+	fs.StringVar(&l.Label, "runlabel", "",
+		"free-form label stamped on ledger manifests (e.g. baseline, ci, a ticket id)")
+	return l
+}
+
+// Enabled reports whether -ledger was set.
+func (l *Ledger) Enabled() bool { return l.Path != "" }
+
+// Emit stamps label, build provenance, and the telemetry registry's final
+// snapshot (reg may be nil) onto each manifest and appends them to the
+// ledger. No-op when the ledger is disabled. Errors are returned, not fatal:
+// a failed ledger append must not fail the run that produced the results.
+func (l *Ledger) Emit(reg *telemetry.Registry, ms ...*perflog.Manifest) error {
+	if !l.Enabled() || len(ms) == 0 {
+		return nil
+	}
+	tel := reg.Export()
+	for _, m := range ms {
+		m.Label = l.Label
+		m.Provenance = perflog.Build()
+		m.Telemetry = tel
+	}
+	if err := perflog.Append(l.Path, ms...); err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "ledger: appended %d manifest(s) to %s\n", len(ms), l.Path)
+	return nil
+}
+
+// VersionFlag registers the shared -version flag on fs.
+func VersionFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print build provenance (go version, git revision, dirty bit) and exit")
+}
+
+// VersionString renders the standard -version banner for a tool.
+func VersionString(tool string) string {
+	return tool + " " + perflog.Build().Short()
+}

@@ -1,0 +1,79 @@
+package perflog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Append finalizes each manifest and appends it to the JSONL ledger at path,
+// one compact JSON document per line, creating parent directories as needed.
+// Appending (never rewriting) is the point: the ledger is the repository's
+// cross-run memory, and a new run must not erase the trajectory.
+func Append(path string, ms ...*Manifest) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("perflog: creating ledger directory: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("perflog: opening ledger: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, m := range ms {
+		m.Finalize()
+		blob, err := json.Marshal(m)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("perflog: encoding manifest: %w", err)
+		}
+		w.Write(blob)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("perflog: writing ledger: %w", err)
+	}
+	return f.Close()
+}
+
+// Read parses a JSONL ledger in append order. Blank lines are skipped; a
+// malformed line or an unknown schema version is an error naming the line,
+// because a silently dropped run would corrupt every comparison downstream.
+func Read(path string) ([]*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("perflog: opening ledger: %w", err)
+	}
+	defer f.Close()
+
+	var out []*Manifest
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		m := &Manifest{}
+		if err := json.Unmarshal(text, m); err != nil {
+			return nil, fmt.Errorf("perflog: %s:%d: %w", path, line, err)
+		}
+		if m.Version != Version {
+			return nil, fmt.Errorf("perflog: %s:%d: manifest version %d, want %d", path, line, m.Version, Version)
+		}
+		if m.Tool == "" {
+			return nil, fmt.Errorf("perflog: %s:%d: manifest without a tool", path, line)
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perflog: reading %s: %w", path, err)
+	}
+	return out, nil
+}

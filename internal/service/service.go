@@ -151,7 +151,7 @@ type Report struct {
 	// machine-time throughput (passages per million steps) — the
 	// deterministic analogue of passages/sec, which depends on the host and
 	// goes to stderr instead.
-	Steps            int64   `json:"steps"`
+	Steps             int64   `json:"steps"`
 	PassagesPerMSteps float64 `json:"passages_per_1m_steps"`
 
 	Latency  LatencyStats  `json:"latency_steps"`

@@ -253,6 +253,18 @@ func (s Snapshot) Flat() map[string]int64 {
 	return out
 }
 
+// Export folds the registry's final state into the flat name→value map a
+// perf-ledger manifest carries. A nil registry (telemetry disabled) exports
+// nil, so the manifest's telemetry section is absent rather than empty — a
+// run with telemetry off stays byte-identical to one that never had the
+// ledger wired.
+func (r *Registry) Export() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	return r.Snapshot().Flat()
+}
+
 // Get returns the named scalar from the snapshot (counters first, then
 // gauges, then flattened histogram series).
 func (s Snapshot) Get(name string) (int64, bool) {

@@ -143,3 +143,20 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("hits = %d, want 8000", got)
 	}
 }
+
+// TestExport pins the perf-ledger export contract: a nil registry exports
+// nil (so a disabled-telemetry manifest omits the section entirely), and a
+// live one exports the flattened final snapshot.
+func TestExport(t *testing.T) {
+	var nilReg *Registry
+	if got := nilReg.Export(); got != nil {
+		t.Fatalf("nil registry exported %v, want nil", got)
+	}
+	r := New()
+	r.Counter("runs").Add(3)
+	r.Histogram("lat", []int64{10}).Observe(7)
+	got := r.Export()
+	if got["runs"] != 3 || got["lat_count"] != 1 || got["lat_sum"] != 7 {
+		t.Fatalf("export = %v", got)
+	}
+}

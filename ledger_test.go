@@ -1,0 +1,71 @@
+// Cross-artifact consistency of the committed perf baseline: the rmrbench
+// entries in runs/baseline.jsonl and the experiment records in
+// BENCH_results.json were produced by the same runs, so their deterministic
+// counters must agree. A drift here means one artifact was regenerated
+// without the other.
+package rme_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"rme/internal/perflog"
+)
+
+func TestBaselineLedgerConsistency(t *testing.T) {
+	ms, err := perflog.Read("runs/baseline.jsonl")
+	if err != nil {
+		t.Fatalf("baseline ledger: %v", err)
+	}
+	blob, err := os.ReadFile("BENCH_results.json")
+	if err != nil {
+		t.Fatalf("bench results: %v", err)
+	}
+	var bench struct {
+		Experiments []struct {
+			ID     string `json:"id"`
+			Runs   int64  `json:"runs"`
+			Steps  int64  `json:"steps"`
+			MaxRMR int64  `json:"max_rmr"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(blob, &bench); err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]*perflog.Manifest{}
+	for _, m := range ms {
+		if m.Tool == "rmrbench" {
+			byID[m.Config["experiment"]] = m
+		}
+	}
+	if len(byID) == 0 {
+		t.Fatal("baseline ledger has no rmrbench manifests")
+	}
+	if len(bench.Experiments) == 0 {
+		t.Fatal("BENCH_results.json has no experiments")
+	}
+	for _, e := range bench.Experiments {
+		m, ok := byID[e.ID]
+		if !ok {
+			t.Errorf("%s: in BENCH_results.json but not in the baseline ledger", e.ID)
+			continue
+		}
+		if got := m.Counters["runs"]; got != e.Runs {
+			t.Errorf("%s runs: ledger %d, bench %d", e.ID, got, e.Runs)
+		}
+		if got := m.Counters["steps"]; got != e.Steps {
+			t.Errorf("%s steps: ledger %d, bench %d", e.ID, got, e.Steps)
+		}
+		if got := m.Counters["max_rmr"]; got != e.MaxRMR {
+			t.Errorf("%s max_rmr: ledger %d, bench %d", e.ID, got, e.MaxRMR)
+		}
+	}
+	// Every manifest must carry its identity: finalized digest and label.
+	for _, m := range ms {
+		if m.ConfigDigest == "" || m.Label != "baseline" {
+			t.Errorf("manifest %s:%s label=%q digest=%q not baseline-stamped",
+				m.Tool, m.Config["experiment"], m.Label, m.ConfigDigest)
+		}
+	}
+}
